@@ -1,0 +1,45 @@
+// Fig. 1(a): RowHammer thresholds across DRAM generations, plus a simulated
+// hammer-count-to-first-flip per generation to confirm the fault model
+// honours each preset.
+#include "bench_util.hpp"
+#include "rowhammer/attacker.hpp"
+
+using namespace dnnd;
+
+int main() {
+  bench::banner("Fig. 1(a) -- RowHammer threshold trend across DRAM generations",
+                "paper Fig. 1(a), data from Kim et al. ISCA'20");
+
+  sys::Table table({"Generation", "T_RH (paper)", "first flip at (sim ACTs)",
+                    "vs DDR3(new)"});
+  const double ddr3_new = dram::rowhammer_threshold(dram::DeviceGen::kDdr3New);
+  for (auto gen : {dram::DeviceGen::kDdr3Old, dram::DeviceGen::kDdr3New,
+                   dram::DeviceGen::kDdr4Old, dram::DeviceGen::kDdr4New,
+                   dram::DeviceGen::kLpddr4Old, dram::DeviceGen::kLpddr4New}) {
+    dram::DramConfig cfg = dram::DramConfig::preset(gen);
+    cfg.geo = dram::Geometry{1, 2, 32, 256};  // tiny device: fast hammer loop
+    dram::DramDevice dev(cfg);
+    rowhammer::HammerModelConfig hcfg;
+    hcfg.p_vulnerable = 0.2;
+    rowhammer::HammerModel model(dev, hcfg);
+    rowhammer::HammerAttacker attacker(dev, sys::Rng(1));
+    const dram::RowAddr victim{0, 0, 10};
+    std::vector<u8> ones(cfg.geo.row_bytes, 0xFF);
+    dev.write_row(victim, ones);
+    // Hammer in bursts until the first flip appears.
+    const dram::RowAddr aggs[2] = {{0, 0, 9}, {0, 0, 11}};
+    u64 acts = 0;
+    const u64 burst = std::max<u64>(64, cfg.t_rh / 64);
+    while (model.flips_injected() == 0 && acts < 3ull * cfg.t_rh) {
+      attacker.hammer(aggs, burst);
+      acts += burst;
+    }
+    table.add_row({to_string(gen), sys::fmt_count(cfg.t_rh), sys::fmt_count(acts),
+                   sys::fmt(ddr3_new / cfg.t_rh, 2) + "x"});
+  }
+  table.print();
+  std::printf(
+      "\nShape check (paper): LPDDR4(new) flips with ~4.5x fewer hammers than\n"
+      "DDR3(new); the simulated first-flip count tracks each preset's T_RH.\n");
+  return 0;
+}

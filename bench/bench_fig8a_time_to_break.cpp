@@ -1,0 +1,27 @@
+// Fig. 8(a): time-to-break (days) of DNN-Defender vs SHADOW across RowHammer
+// thresholds, plus the maximum number of BFAs defendable per refresh window.
+#include "bench_util.hpp"
+#include "core/security_model.hpp"
+
+using namespace dnnd;
+
+int main() {
+  bench::banner("Fig. 8(a) -- Time-to-break and max defended BFAs vs T_RH",
+                "paper Fig. 8(a); anchors 1180/894 days at T_RH=4k, gaps 71/142/286/572");
+  core::SecurityModel model;
+  sys::Table table({"T_RH", "max swaps/window", "max # BFA defended", "TTB DD (days)",
+                    "TTB SHADOW (days)", "DD advantage (days)"});
+  for (u32 t_rh : {1000u, 2000u, 4000u, 8000u}) {
+    const auto p = model.analyze(t_rh);
+    table.add_row({sys::fmt_count(t_rh), sys::fmt_count(static_cast<long long>(p.max_swaps_per_window)),
+                   sys::fmt_count(static_cast<long long>(p.max_bfa_defended)),
+                   sys::fmt(p.ttb_days_dd, 0), sys::fmt(p.ttb_days_shadow, 0),
+                   sys::fmt(p.ttb_days_dd - p.ttb_days_shadow, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check (paper): DD outlasts SHADOW at every threshold; at T_RH=4k\n"
+      "the attacker needs ~1180 days vs ~894 (DD protects 286 more days); the\n"
+      "defendable-BFA count falls as 1/T_RH (55K/28K/14K/7K).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) of the primitives: DRAM commands,
+// RowClone, the four-step protection swap, remapping, quantization, and one
+// BFA search step.
+#include <benchmark/benchmark.h>
+
+#include "attack/bfa.hpp"
+#include "core/swap_engine.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+#include "rowhammer/hammer_model.hpp"
+
+using namespace dnnd;
+
+namespace {
+
+void BM_DramActivatePrechargePair(benchmark::State& state) {
+  dram::DramDevice dev(dram::DramConfig::sim_small());
+  u32 row = 0;
+  for (auto _ : state) {
+    dev.activate({0, 0, row});
+    row = (row + 1) % 64;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_DramActivatePrechargePair);
+
+void BM_RowCloneFpm(benchmark::State& state) {
+  dram::DramDevice dev(dram::DramConfig::sim_small());
+  u32 i = 0;
+  for (auto _ : state) {
+    dev.rowclone_fpm(0, 0, i % 32, 32 + (i % 32));
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          dev.config().geo.row_bytes);
+}
+BENCHMARK(BM_RowCloneFpm);
+
+void BM_RowClonePsm(benchmark::State& state) {
+  dram::DramDevice dev(dram::DramConfig::sim_small());
+  u32 i = 0;
+  for (auto _ : state) {
+    dev.rowclone_psm({0, 0, i % 32}, {1, 0, i % 32});
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          dev.config().geo.row_bytes);
+}
+BENCHMARK(BM_RowClonePsm);
+
+void BM_HammerActWithFaultModel(benchmark::State& state) {
+  dram::DramDevice dev(dram::DramConfig::sim_small());
+  rowhammer::HammerModel model(dev, rowhammer::HammerModelConfig{});
+  u32 flip = 0;
+  for (auto _ : state) {
+    dev.activate({0, 0, 10 + (flip & 1)});
+    flip ^= 1;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_HammerActWithFaultModel);
+
+void BM_FourStepProtectionSwap(benchmark::State& state) {
+  dram::DramDevice dev(dram::DramConfig::sim_small());
+  dram::RowRemapper remap(dev.config().geo);
+  core::SwapEngine engine(dev, remap);
+  sys::Rng rng(1);
+  u32 i = 0;
+  for (auto _ : state) {
+    const dram::RowAddr target{0, 0, 4 + (i % 8) * 2};
+    const dram::RowAddr nt{0, 0, 30 + (i % 8) * 2};
+    engine.protect(target, &nt, rng);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_FourStepProtectionSwap);
+
+void BM_RemapperLookup(benchmark::State& state) {
+  dram::RowRemapper remap(dram::DramConfig::sim_default().geo);
+  remap.swap_logical({0, 0, 1}, {3, 2, 7});
+  u32 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remap.to_physical({i % 8, i % 8, i % 128}));
+    ++i;
+  }
+}
+BENCHMARK(BM_RemapperLookup);
+
+struct AttackState {
+  std::unique_ptr<nn::Model> model;
+  std::unique_ptr<quant::QuantizedModel> qm;
+  nn::Tensor ax;
+  std::vector<u32> ay;
+
+  AttackState() {
+    nn::SynthSpec spec;
+    spec.num_classes = 4;
+    spec.train_per_class = 60;
+    spec.test_per_class = 20;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.noise = 0.8;
+    auto data = nn::make_synthetic(spec);
+    model = models::make_test_mlp(64, 24, 4, 7);
+    nn::TrainConfig cfg;
+    cfg.epochs = 3;
+    nn::train(*model, data, cfg);
+    qm = std::make_unique<quant::QuantizedModel>(*model);
+    std::tie(ax, ay) = data.test.head(16);
+  }
+
+  static AttackState& instance() {
+    static AttackState s;
+    return s;
+  }
+};
+
+void BM_QuantizeModel(benchmark::State& state) {
+  auto& s = AttackState::instance();
+  for (auto _ : state) {
+    quant::QuantizedModel qm(*s.model);
+    benchmark::DoNotOptimize(qm.total_weights());
+  }
+}
+BENCHMARK(BM_QuantizeModel);
+
+void BM_BitFlipCommit(benchmark::State& state) {
+  auto& s = AttackState::instance();
+  u32 i = 0;
+  for (auto _ : state) {
+    s.qm->flip({0, i % s.qm->layer(0).size(), i % 8});
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_BitFlipCommit);
+
+void BM_BfaSearchStep(benchmark::State& state) {
+  auto& s = AttackState::instance();
+  attack::BfaConfig cfg;
+  attack::ProgressiveBitSearch bfa(*s.qm, s.ax, s.ay, cfg);
+  const auto snapshot = s.qm->snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfa.step({}));
+    state.PauseTiming();
+    s.qm->restore(snapshot);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_BfaSearchStep);
+
+void BM_ForwardPassMlpBatch16(benchmark::State& state) {
+  auto& s = AttackState::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.model->forward(s.ax, false));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(BM_ForwardPassMlpBatch16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

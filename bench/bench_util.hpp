@@ -1,0 +1,54 @@
+// Shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+#include "sys/table.hpp"
+
+namespace dnnd::bench {
+
+/// True when DNND_BENCH_SCALE=small is set: every harness shrinks its sweep
+/// for quick iteration. Default (unset/full) reproduces the full series.
+inline bool small_scale() {
+  const char* v = std::getenv("DNND_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "small";
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Trains a zoo model on a dataset with bench-appropriate settings.
+inline std::unique_ptr<nn::Model> train_model(const std::string& arch,
+                                              const nn::SplitDataset& data, usize epochs,
+                                              u64 seed = 1, usize width_mult = 1) {
+  auto model = models::make_by_name(arch, data.spec.num_classes, seed, width_mult);
+  nn::TrainConfig cfg;
+  cfg.epochs = small_scale() ? std::max<usize>(2, epochs / 2) : epochs;
+  Stopwatch sw;
+  const auto report = nn::train(*model, data, cfg);
+  std::printf("[setup] trained %s: clean test acc %.2f%% (%.1fs)\n", model->name().c_str(),
+              100.0 * report.test_accuracy, sw.seconds());
+  return model;
+}
+
+}  // namespace dnnd::bench

@@ -1,0 +1,69 @@
+// Head-to-head: the same white-box BFA campaign against no defense, RRS,
+// SRS, SHADOW, and DNN-Defender on one trained model -- the paper's central
+// victim-focused vs aggressor-focused comparison, measured in one run.
+#include <cstdio>
+
+#include "defense/rrs.hpp"
+#include "defense/shadow.hpp"
+#include "defense/srs.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+#include "sys/table.hpp"
+#include "system/protected_system.hpp"
+
+using namespace dnnd;
+
+int main() {
+  auto data = nn::make_synthetic(nn::SynthSpec::cifar10_like());
+  auto model = models::make_vgg11_sub(data.spec.num_classes, /*seed=*/5);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 6;
+  nn::train(*model, data, tcfg);
+  auto [ax, ay] = data.test.head(32);
+  auto [ex, ey] = data.test.head(200);
+
+  quant::QuantizedModel qm(*model);
+  const auto clean_codes = qm.snapshot();
+  const usize attempts = 12;
+
+  sys::Table table({"Defense", "Attempts", "Blocked", "Landed", "Post-attack acc (%)",
+                    "Defense ops", "Defense time (ms)"});
+
+  auto run_case = [&](const std::string& name, auto install) {
+    qm.restore(clean_codes);
+    system::ProtectedSystemConfig scfg;
+    scfg.dram = dram::DramConfig::nn_scaled();
+    system::ProtectedSystem sys(qm, scfg);
+    install(sys);
+    const auto res = sys.run_white_box_attack(ax, ay, ex, ey, attempts, 0.0);
+    const defense::Mitigation* m = sys.mitigation();
+    table.add_row({name, std::to_string(res.attempts), std::to_string(res.blocked),
+                   std::to_string(res.landed), sys::fmt(100.0 * res.final_accuracy, 2),
+                   m != nullptr ? std::to_string(m->stats().maintenance_ops) : "-",
+                   m != nullptr ? sys::fmt(ps_to_ms(m->stats().time_spent), 3) : "-"});
+  };
+
+  run_case("none", [](system::ProtectedSystem&) {});
+  run_case("RRS (aggressor-focused)", [](system::ProtectedSystem& s) {
+    s.install_mitigation(std::make_unique<defense::Rrs>(s.device(), s.remapper()));
+  });
+  run_case("SRS (aggressor-focused)", [](system::ProtectedSystem& s) {
+    s.install_mitigation(std::make_unique<defense::Srs>(s.device(), s.remapper()));
+  });
+  run_case("SHADOW (victim-focused)", [](system::ProtectedSystem& s) {
+    s.install_mitigation(std::make_unique<defense::Shadow>(s.device(), s.remapper()));
+  });
+  run_case("DNN-Defender (victim-focused)", [&](system::ProtectedSystem& s) {
+    core::PriorityProfiler profiler(qm, ax, ay);
+    s.install_dnn_defender(profiler.profile_blocked_attacker(3 * attempts));
+  });
+
+  table.print();
+  std::printf(
+      "\nReading: aggressor-focused swaps (RRS/SRS) cannot stop an attacker who\n"
+      "tracks the victim row -- flips land. Victim-focused designs (SHADOW,\n"
+      "DNN-Defender) refresh/relocate the victim before T_RH and block every\n"
+      "attempt; DNN-Defender does it with scheduled 3xT_AAP swaps and no\n"
+      "tracker state.\n");
+  return 0;
+}

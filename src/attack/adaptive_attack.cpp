@@ -1,0 +1,40 @@
+#include "attack/adaptive_attack.hpp"
+
+namespace dnnd::attack {
+
+AdaptiveWhiteBoxAttack::AdaptiveWhiteBoxAttack(quant::QuantizedModel& qm, nn::Tensor attack_x,
+                                               std::vector<u32> attack_y, nn::Tensor eval_x,
+                                               std::vector<u32> eval_y,
+                                               AdaptiveAttackConfig cfg)
+    : qm_(qm),
+      attack_x_(std::move(attack_x)),
+      attack_y_(std::move(attack_y)),
+      eval_x_(std::move(eval_x)),
+      eval_y_(std::move(eval_y)),
+      cfg_(cfg) {}
+
+AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secured) {
+  AdaptiveAttackResult result;
+  result.secured_bits = secured.size();
+  // The attacker first iterates through the secured candidates: every attempt
+  // is refreshed away by the defense, so the model is unchanged. The trace
+  // therefore starts at the clean accuracy.
+  result.accuracy_trace.push_back(qm_.model().accuracy(eval_x_, eval_y_));
+
+  // Adapted search: progressive bit search that skips the secured set, i.e.
+  // only unprotected bits can land.
+  BfaConfig bfa_cfg = cfg_.bfa;
+  bfa_cfg.max_flips = cfg_.max_additional_flips;
+  ProgressiveBitSearch search(qm_, attack_x_, attack_y_, bfa_cfg);
+  for (usize k = 1; k <= cfg_.max_additional_flips; ++k) {
+    auto rec = search.step(secured);
+    if (!rec.has_value()) break;
+    result.landed_flips.push_back(rec->loc);
+    if (k % cfg_.measure_every == 0 || k == cfg_.max_additional_flips) {
+      result.accuracy_trace.push_back(qm_.model().accuracy(eval_x_, eval_y_));
+    }
+  }
+  return result;
+}
+
+}  // namespace dnnd::attack

@@ -1,0 +1,137 @@
+#include "attack/bfa.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dnnd::attack {
+
+ProgressiveBitSearch::ProgressiveBitSearch(quant::QuantizedModel& qm, nn::Tensor attack_x,
+                                           std::vector<u32> attack_y, BfaConfig cfg)
+    : qm_(qm), attack_x_(std::move(attack_x)), attack_y_(std::move(attack_y)), cfg_(cfg) {
+  u32 max_label = 0;
+  for (u32 y : attack_y_) max_label = std::max(max_label, y);
+  num_classes_ = max_label + 1;
+}
+
+double ProgressiveBitSearch::stop_threshold() const {
+  return cfg_.stop_accuracy > 0.0 ? cfg_.stop_accuracy
+                                  : 1.05 / static_cast<double>(num_classes_);
+}
+
+std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& skip) {
+  nn::Model& model = qm_.model();
+  // (1) gradients of the inference loss on the attack batch
+  model.zero_grad();
+  const nn::LossResult base = model.loss_and_grad(attack_x_, attack_y_);
+
+  // Effective exclusion: caller's skip set plus everything this search has
+  // already flipped (BFA never undoes its own flips).
+  quant::BitSkipSet exclude = skip;
+  for (const auto& loc : flipped_.to_vector()) exclude.insert(loc);
+
+  // (2) intra-layer search: per-layer top-k candidates by first-order gain
+  struct LayerBest {
+    usize layer;
+    std::vector<quant::FlipCandidate> cands;
+  };
+  std::vector<LayerBest> per_layer;
+  for (usize l = 0; l < qm_.num_layers(); ++l) {
+    auto cands = quant::top_k_flips(qm_.layer(l), l, cfg_.candidates_per_layer, exclude);
+    if (!cands.empty()) per_layer.push_back({l, std::move(cands)});
+  }
+  if (per_layer.empty()) return std::nullopt;
+
+  // (3) inter-layer search: restrict to the most promising layers, then
+  // evaluate candidates' actual loss by flip / forward / unflip.
+  if (cfg_.layers_evaluated > 0 && per_layer.size() > cfg_.layers_evaluated) {
+    std::partial_sort(per_layer.begin(),
+                      per_layer.begin() + static_cast<isize>(cfg_.layers_evaluated),
+                      per_layer.end(), [](const LayerBest& a, const LayerBest& b) {
+                        return a.cands.front().estimated_gain >
+                               b.cands.front().estimated_gain;
+                      });
+    per_layer.resize(cfg_.layers_evaluated);
+  }
+
+  std::optional<quant::BitLocation> best_loc;
+  double best_loss = base.loss;
+  double best_accuracy = 0.0;
+  for (const LayerBest& lb : per_layer) {
+    for (const quant::FlipCandidate& cand : lb.cands) {
+      qm_.flip(cand.loc);
+      nn::Tensor logits = model.forward(attack_x_, /*train=*/false);
+      const double loss = nn::softmax_cross_entropy_loss(logits, attack_y_);
+      qm_.flip(cand.loc);  // revert
+      if (loss > best_loss) {
+        best_loss = loss;
+        best_loc = cand.loc;
+        usize hits = 0;
+        const auto pred = nn::argmax_rows(logits);
+        for (usize i = 0; i < pred.size(); ++i) {
+          if (pred[i] == attack_y_[i]) ++hits;
+        }
+        best_accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
+      }
+    }
+  }
+  bool fallback = false;
+  if (!best_loc.has_value()) {
+    // No evaluated candidate raised the loss: fall back to the globally best
+    // first-order estimate (greedy escape; progress is guaranteed because
+    // committed bits are never revisited).
+    const quant::FlipCandidate* best_est = nullptr;
+    for (const LayerBest& lb : per_layer) {
+      if (best_est == nullptr || lb.cands.front().estimated_gain > best_est->estimated_gain) {
+        best_est = &lb.cands.front();
+      }
+    }
+    best_loc = best_est->loc;
+    fallback = true;
+  }
+
+  // (4) commit
+  qm_.flip(*best_loc);
+  flipped_.insert(*best_loc);
+  FlipRecord rec;
+  rec.loc = *best_loc;
+  rec.loss_before = base.loss;
+  rec.fallback = fallback;
+  if (fallback) {
+    nn::Tensor logits = model.forward(attack_x_, /*train=*/false);
+    best_loss = nn::softmax_cross_entropy_loss(logits, attack_y_);
+    usize hits = 0;
+    const auto pred = nn::argmax_rows(logits);
+    for (usize i = 0; i < pred.size(); ++i) {
+      if (pred[i] == attack_y_[i]) ++hits;
+    }
+    best_accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
+  }
+  rec.loss_after = best_loss;
+  rec.batch_accuracy_after = best_accuracy;
+  if (cfg_.verbose) {
+    std::printf("[bfa] flip layer=%zu idx=%zu bit=%u loss %.4f -> %.4f acc=%.3f\n",
+                rec.loc.layer, rec.loc.index, rec.loc.bit, rec.loss_before, rec.loss_after,
+                rec.batch_accuracy_after);
+  }
+  return rec;
+}
+
+BfaResult ProgressiveBitSearch::run(const quant::BitSkipSet& skip) {
+  BfaResult result;
+  result.initial_batch_accuracy = qm_.model().accuracy(attack_x_, attack_y_);
+  result.final_batch_accuracy = result.initial_batch_accuracy;
+  const double stop = stop_threshold();
+  for (usize i = 0; i < cfg_.max_flips; ++i) {
+    auto rec = step(skip);
+    if (!rec.has_value()) break;
+    result.final_batch_accuracy = rec->batch_accuracy_after;
+    result.flips.push_back(*rec);
+    if (rec->batch_accuracy_after <= stop) {
+      result.reached_stop = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dnnd::attack

@@ -1,0 +1,36 @@
+#include "attack/random_attack.hpp"
+
+namespace dnnd::attack {
+
+quant::BitLocation RandomBitAttack::flip_one(const quant::BitSkipSet& skip) {
+  const u64 total_bits = qm_.total_bits();
+  for (;;) {
+    u64 flat = rng_.uniform(total_bits);
+    const u32 bit = static_cast<u32>(flat % 8);
+    u64 widx = flat / 8;
+    usize layer = 0;
+    while (widx >= qm_.layer(layer).size()) {
+      widx -= qm_.layer(layer).size();
+      ++layer;
+    }
+    const quant::BitLocation loc{layer, static_cast<usize>(widx), bit};
+    if (skip.contains(loc)) continue;
+    qm_.flip(loc);
+    return loc;
+  }
+}
+
+RandomAttackResult RandomBitAttack::run(usize n_flips, const nn::Tensor& x,
+                                        const std::vector<u32>& y, usize measure_every) {
+  RandomAttackResult result;
+  result.accuracy_trace.push_back(qm_.model().accuracy(x, y));
+  for (usize i = 1; i <= n_flips; ++i) {
+    result.flips.push_back(flip_one());
+    if (i % measure_every == 0 || i == n_flips) {
+      result.accuracy_trace.push_back(qm_.model().accuracy(x, y));
+    }
+  }
+  return result;
+}
+
+}  // namespace dnnd::attack

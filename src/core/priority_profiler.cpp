@@ -1,0 +1,111 @@
+#include "core/priority_profiler.hpp"
+
+#include <algorithm>
+
+namespace dnnd::core {
+
+quant::BitSkipSet ProfileResult::secured_set(usize n) const {
+  quant::BitSkipSet set;
+  const usize count = (n == 0 || n > priority_bits.size()) ? priority_bits.size() : n;
+  for (usize i = 0; i < count; ++i) set.insert(priority_bits[i]);
+  return set;
+}
+
+PriorityProfiler::PriorityProfiler(quant::QuantizedModel& qm, nn::Tensor attack_x,
+                                   std::vector<u32> attack_y, ProfilerConfig cfg)
+    : qm_(qm), attack_x_(std::move(attack_x)), attack_y_(std::move(attack_y)), cfg_(cfg) {}
+
+ProfileResult PriorityProfiler::profile() {
+  ProfileResult result;
+  const auto clean_snapshot = qm_.snapshot();
+  quant::BitSkipSet exclude;
+  for (usize round = 0; round < cfg_.rounds; ++round) {
+    attack::ProgressiveBitSearch search(qm_, attack_x_, attack_y_, cfg_.bfa);
+    const attack::BfaResult res = search.run(exclude);
+    // Flip everything back (the profiler must not damage the model) and
+    // exclude this round's bits from the next round.
+    qm_.restore(clean_snapshot);
+    if (res.flips.empty()) break;  // search space exhausted
+    result.round_sizes.push_back(res.flips.size());
+    for (const auto& rec : res.flips) {
+      exclude.insert(rec.loc);
+      result.priority_bits.push_back(rec.loc);
+    }
+  }
+  return result;
+}
+
+ProfileResult PriorityProfiler::profile_blocked_attacker(usize n_bits) {
+  ProfileResult result;
+  quant::BitSkipSet skip;
+  for (usize i = 0; i < n_bits; ++i) {
+    // A fresh search per selection: the blocked attacker's model never
+    // changes, only its knowledge of which bits are futile.
+    attack::ProgressiveBitSearch search(qm_, attack_x_, attack_y_, cfg_.bfa);
+    const auto rec = search.step(skip);
+    if (!rec.has_value()) break;
+    qm_.flip(rec->loc);  // undo the search's commit
+    skip.insert(rec->loc);
+    result.priority_bits.push_back(rec->loc);
+  }
+  result.round_sizes.push_back(result.priority_bits.size());
+  return result;
+}
+
+ProfileResult fast_gradient_profile(quant::QuantizedModel& qm, const nn::Tensor& attack_x,
+                                    const std::vector<u32>& attack_y, usize n_bits,
+                                    usize chunk) {
+  // Two properties matter.
+  // Conditioning: a defended attacker whose attempts are all blocked keeps
+  // proposing from the CLEAN model, so ranking uses one clean-model gradient
+  // pass (no committed flips).
+  // Coverage: the progressive search is per-layer -- gradient magnitudes are
+  // not comparable across layers (early conv layers have small gradients but
+  // catastrophic nonlinear flip impact), so the budget is allocated to every
+  // layer proportionally to its size and ranked within the layer. The output
+  // interleaves layers by within-layer rank so any prefix (a smaller SB
+  // level) is also layer-balanced.
+  (void)chunk;
+  ProfileResult result;
+  nn::Model& model = qm.model();
+  model.zero_grad();
+  model.loss_and_grad(attack_x, attack_y);
+  const quant::BitSkipSet none;
+  const u64 total_bits = qm.total_bits();
+  std::vector<std::vector<quant::FlipCandidate>> per_layer(qm.num_layers());
+  for (usize l = 0; l < qm.num_layers(); ++l) {
+    const usize share = static_cast<usize>(
+        (static_cast<u64>(n_bits) * qm.layer(l).size() * 8 + total_bits - 1) / total_bits);
+    per_layer[l] = quant::top_k_flips(qm.layer(l), l, share, none);
+  }
+  // Round-robin merge by within-layer rank.
+  for (usize rank = 0; result.priority_bits.size() < n_bits; ++rank) {
+    bool any = false;
+    for (usize l = 0; l < per_layer.size() && result.priority_bits.size() < n_bits; ++l) {
+      if (rank < per_layer[l].size()) {
+        result.priority_bits.push_back(per_layer[l][rank].loc);
+        any = true;
+      }
+    }
+    if (!any) break;  // every layer exhausted
+  }
+  result.round_sizes.push_back(result.priority_bits.size());
+  return result;
+}
+
+std::vector<dram::RowAddr> PriorityProfiler::target_rows(const ProfileResult& result,
+                                                         const mapping::WeightMapping& mapping,
+                                                         usize max_bits) {
+  std::vector<dram::RowAddr> rows;
+  const usize count = (max_bits == 0 || max_bits > result.priority_bits.size())
+                          ? result.priority_bits.size()
+                          : max_bits;
+  for (usize i = 0; i < count; ++i) {
+    const auto& bit = result.priority_bits[i];
+    const dram::RowAddr row = mapping.locate(bit.layer, bit.index).row;
+    if (std::find(rows.begin(), rows.end(), row) == rows.end()) rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace dnnd::core

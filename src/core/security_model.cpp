@@ -1,0 +1,89 @@
+#include "core/security_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnnd::core {
+
+namespace {
+constexpr double kSecondsPerDay = 86'400.0;
+constexpr u32 kAnchorTrh = 4'000;
+constexpr double kAnchorTtbDd = 1'180.0;      // days, paper Fig. 8(a)
+constexpr double kAnchorTtbShadow = 894.0;    // days, paper Fig. 8(a)
+
+bool is_dd(const std::string& f) { return f == "dd" || f == "DNN-Defender"; }
+bool is_shadow(const std::string& f) { return f == "shadow" || f == "SHADOW"; }
+}  // namespace
+
+SecurityModel::SecurityModel(SecurityParams params) : params_(params) {
+  // Derive the framework constants from the paper's T_RH=4k anchors:
+  // TTB = K x attempt_cost, attempt_cost = T_ACT x T_RH.
+  const double anchor_attempt_s =
+      ps_to_s(params_.timing.t_act * static_cast<Picoseconds>(kAnchorTrh));
+  k_dd_ = params_.k_dd > 0.0 ? params_.k_dd
+                             : kAnchorTtbDd * kSecondsPerDay / anchor_attempt_s;
+  k_shadow_ = params_.k_shadow > 0.0 ? params_.k_shadow
+                                     : kAnchorTtbShadow * kSecondsPerDay / anchor_attempt_s;
+}
+
+SecurityPoint SecurityModel::analyze(u32 t_rh) const {
+  SecurityPoint p;
+  p.t_rh = t_rh;
+  p.window = params_.timing.t_act * static_cast<Picoseconds>(t_rh);
+  p.max_swaps_per_window = static_cast<u64>(p.window / params_.timing.t_swap());
+  // Attack campaigns per Tref with bank-level parallelism.
+  const double campaigns = static_cast<double>(params_.banks) * params_.parallel_factor *
+                           static_cast<double>(params_.timing.t_ref_window) /
+                           static_cast<double>(p.window);
+  p.max_bfa_defended = static_cast<u64>(campaigns);
+  const double attempt_s = ps_to_s(p.window);
+  p.ttb_days_dd = k_dd_ * attempt_s / kSecondsPerDay;
+  p.ttb_days_shadow = k_shadow_ * attempt_s / kSecondsPerDay;
+  return p;
+}
+
+Picoseconds SecurityModel::cost_per_bfa(const std::string& framework) const {
+  if (is_dd(framework)) return params_.timing.t_swap();           // 3 AAPs
+  if (is_shadow(framework)) return 8 * params_.timing.t_aap;      // 2 victims x 3 + metadata
+  throw std::invalid_argument("SecurityModel: unknown framework " + framework);
+}
+
+double SecurityModel::latency_per_tref_ms(const std::string& framework, u32 t_rh,
+                                          u64 n_bfas) const {
+  const SecurityPoint p = analyze(t_rh);
+  const u64 defended = std::min<u64>(n_bfas, p.max_bfa_defended);
+  return ps_to_ms(static_cast<Picoseconds>(defended) * cost_per_bfa(framework));
+}
+
+Femtojoules SecurityModel::energy_per_tref(const std::string& framework, u32 t_rh) const {
+  const SecurityPoint p = analyze(t_rh);
+  Femtojoules per_op = 0;
+  if (is_dd(framework)) {
+    per_op = 3 * params_.energy.aap;
+  } else if (is_shadow(framework)) {
+    per_op = 8 * params_.energy.aap;
+  } else if (framework == "srs" || framework == "SRS" || framework == "rrs" ||
+             framework == "RRS") {
+    // Controller-mediated swap of two 8KB rows over the channel + tracker,
+    // at SRS's lazy swap rate (see SecurityParams::srs_swaps_per_campaign).
+    const Femtojoules per_swap = 2 * channel_row_copy_energy(params_.energy, 8192) +
+                                 64 * params_.energy.sram_access;
+    per_op = static_cast<Femtojoules>(params_.srs_swaps_per_campaign *
+                                      static_cast<double>(per_swap));
+  } else {
+    throw std::invalid_argument("SecurityModel: unknown framework " + framework);
+  }
+  return static_cast<Femtojoules>(p.max_bfa_defended) * per_op;
+}
+
+double SecurityModel::defense_power_mw(const std::string& framework, u32 t_rh) const {
+  return sys::average_power_mw(energy_per_tref(framework, t_rh),
+                               params_.timing.t_ref_window);
+}
+
+double SecurityModel::total_power_mw(const std::string& framework, u32 t_rh) const {
+  return params_.baseline_traffic_mw + params_.energy.background_mw +
+         defense_power_mw(framework, t_rh);
+}
+
+}  // namespace dnnd::core

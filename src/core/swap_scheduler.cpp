@@ -1,0 +1,59 @@
+#include "core/swap_scheduler.hpp"
+
+#include <sstream>
+
+namespace dnnd::core {
+
+namespace {
+std::string step_label(usize swap_index, u32 step) {
+  std::ostringstream out;
+  switch (step) {
+    case 1: out << "copy random (swap " << swap_index + 1 << ")"; break;
+    case 2: out << "copy target #" << swap_index + 1; break;
+    case 3: out << "copy random back (swap " << swap_index + 1 << ")"; break;
+    case 4: out << "copy non-target #" << swap_index + 1; break;
+  }
+  return out.str();
+}
+}  // namespace
+
+Timeline build_swap_timeline(usize n_swaps, Picoseconds t_aap, bool pipelined) {
+  Timeline tl;
+  Picoseconds t = 0;
+  auto push = [&](usize swap, u32 step) {
+    tl.ops.push_back(TimelineOp{swap, step, t, t + t_aap, step_label(swap, step)});
+    t += t_aap;
+  };
+  for (usize s = 0; s < n_swaps; ++s) {
+    if (pipelined) {
+      // Swap 0 needs its own step 1 (RNG-selected random row). Later swaps
+      // reuse the previous swap's step 4 as their step 1.
+      if (s == 0) push(s, 1);
+      push(s, 2);
+      push(s, 3);
+      push(s, 4);  // doubles as step 1 of swap s+1
+    } else {
+      push(s, 1);
+      push(s, 2);
+      push(s, 3);
+      push(s, 4);
+    }
+  }
+  tl.makespan = t;
+  return tl;
+}
+
+u64 max_protected_rows(const sys::LatencyParams& timing, u32 t_rh) {
+  const Picoseconds window = timing.t_act * static_cast<Picoseconds>(t_rh);
+  return static_cast<u64>(window / timing.t_swap());
+}
+
+Picoseconds swap_interval_for(usize n_targets, const sys::LatencyParams& timing, u32 t_rh) {
+  if (n_targets == 0) return 0;
+  const Picoseconds window = timing.t_act * static_cast<Picoseconds>(t_rh);
+  const Picoseconds interval = window / static_cast<Picoseconds>(n_targets);
+  // Infeasible when swaps would have to overlap (interval below t_swap).
+  return interval < timing.t_swap() ? 0 : interval;
+}
+
+}  // namespace dnnd::core

@@ -1,0 +1,47 @@
+// Swap scheduling analytics: builds the Fig.-6 timeline (pipelined step-4 /
+// step-1 overlap vs. naive serial swaps) and computes the periodic schedule
+// that guarantees every target row is refreshed inside the RowHammer window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sys/energy_model.hpp"
+#include "sys/types.hpp"
+
+namespace dnnd::core {
+
+/// One bus operation in a swap timeline.
+struct TimelineOp {
+  usize swap_index = 0;  ///< which swap this op belongs to
+  u32 step = 0;          ///< paper step number 1..4
+  Picoseconds start = 0;
+  Picoseconds end = 0;
+  std::string label;     ///< e.g. "copy target #2"
+};
+
+struct Timeline {
+  std::vector<TimelineOp> ops;
+  Picoseconds makespan = 0;
+
+  /// AAPs issued (== ops.size()).
+  [[nodiscard]] usize op_count() const { return ops.size(); }
+};
+
+/// Builds the timeline for `n_swaps` consecutive protection swaps.
+/// Pipelined: step 4 of swap n doubles as step 1 of swap n+1, so each
+/// steady-state swap costs 3 x t_aap (makespan = (3n + 1) x t_aap).
+/// Serial: every swap runs all four steps (makespan = 4n x t_aap).
+Timeline build_swap_timeline(usize n_swaps, Picoseconds t_aap, bool pipelined);
+
+/// Periodic protection schedule: `n_targets` rows must each be swapped once
+/// per hammer window (t_act * t_rh). Returns the per-target interval, or 0
+/// when the budget is infeasible (more targets than swap slots).
+Picoseconds swap_interval_for(usize n_targets, const sys::LatencyParams& timing, u32 t_rh);
+
+/// Maximum number of target rows one bank can protect within the hammer
+/// window: floor(window / t_swap) -- the paper's "maximum number of swap
+/// operations".
+u64 max_protected_rows(const sys::LatencyParams& timing, u32 t_rh);
+
+}  // namespace dnnd::core

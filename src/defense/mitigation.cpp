@@ -1,0 +1,4 @@
+#include "defense/mitigation.hpp"
+
+// The interface is header-only; this TU anchors the vtable.
+namespace dnnd::defense {}

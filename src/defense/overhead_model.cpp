@@ -1,0 +1,159 @@
+#include "defense/overhead_model.hpp"
+
+#include <sstream>
+
+namespace dnnd::defense {
+
+namespace {
+constexpr u64 kKB = 1024;
+constexpr u64 kMB = 1024 * 1024;
+
+std::string fmt_bytes(u64 bytes) {
+  std::ostringstream out;
+  if (bytes == 0) {
+    out << "0";
+  } else if (bytes >= kMB) {
+    out.precision(3);
+    out << static_cast<double>(bytes) / static_cast<double>(kMB) << "MB";
+  } else {
+    out.precision(3);
+    out << static_cast<double>(bytes) / static_cast<double>(kKB) << "KB";
+  }
+  return out.str();
+}
+}  // namespace
+
+std::vector<OverheadEntry> overhead_table(const dram::DramConfig& cfg) {
+  std::vector<OverheadEntry> rows;
+  const u64 total_rows = cfg.geo.total_rows();
+  const u64 rows_per_bank = cfg.geo.rows_per_bank();
+
+  {
+    // Graphene (MICRO'20): Misra-Gries tables in SRAM + CAM for row tags.
+    OverheadEntry e;
+    e.framework = "Graphene";
+    e.involved_memory = "CAM-SRAM";
+    e.cam_bytes = static_cast<u64>(0.53 * static_cast<double>(kMB));
+    e.sram_bytes = static_cast<u64>(1.12 * static_cast<double>(kMB));
+    e.area_overhead = "1 counter";
+    rows.push_back(e);
+  }
+  {
+    // Hydra (ISCA'22): small SRAM cache + DRAM-resident counter groups.
+    OverheadEntry e;
+    e.framework = "Hydra";
+    e.involved_memory = "SRAM-DRAM";
+    e.sram_bytes = 56 * kKB;
+    e.dram_bytes = 4 * kMB;
+    e.area_overhead = "1 counter";
+    rows.push_back(e);
+  }
+  {
+    // TWiCE (ISCA'19): large SRAM table + CAM.
+    OverheadEntry e;
+    e.framework = "TWiCE";
+    e.involved_memory = "SRAM-CAM";
+    e.sram_bytes = static_cast<u64>(3.16 * static_cast<double>(kMB));
+    e.cam_bytes = static_cast<u64>(1.6 * static_cast<double>(kMB));
+    e.area_overhead = "1 counter";
+    rows.push_back(e);
+  }
+  {
+    // Counter per Row: one 8-byte counter per DRAM row, stored in DRAM.
+    // Derivable: 32GB / 8KB rows = 4M rows -> 32MB.
+    OverheadEntry e;
+    e.framework = "CounterPerRow";
+    e.involved_memory = "DRAM";
+    e.dram_bytes = total_rows * 8;
+    std::ostringstream area;
+    area << rows_per_bank / 16 << " counters";  // per-mat counters, paper: 16384
+    e.area_overhead = area.str();
+    rows.push_back(e);
+  }
+  {
+    // Counter Tree (CAL'16): log-structured counters, 1/16 of per-row cost.
+    OverheadEntry e;
+    e.framework = "CounterTree";
+    e.involved_memory = "DRAM";
+    e.dram_bytes = total_rows * 8 / 16;
+    std::ostringstream area;
+    area << rows_per_bank / 256 << " counters";  // paper: 1024
+    e.area_overhead = area.str();
+    rows.push_back(e);
+  }
+  {
+    // RRS (ASPLOS'22): swap indirection tables in DRAM + SRAM trackers (size
+    // not reported in the original).
+    OverheadEntry e;
+    e.framework = "RRS";
+    e.involved_memory = "DRAM-SRAM";
+    e.dram_bytes = 4 * kMB;
+    e.sram_bytes = 0;  // NR in the source paper
+    e.capacity_detail = fmt_bytes(e.dram_bytes) + " (DRAM) + NR (SRAM)";
+    e.area_overhead = "NULL";
+    rows.push_back(e);
+  }
+  {
+    // SRS (2022): reduced-counter variant of RRS.
+    OverheadEntry e;
+    e.framework = "SRS";
+    e.involved_memory = "DRAM-SRAM";
+    e.dram_bytes = static_cast<u64>(1.26 * static_cast<double>(kMB));
+    e.sram_bytes = 0;  // NR in the source paper
+    e.capacity_detail = fmt_bytes(e.dram_bytes) + " (DRAM) + NR (SRAM)";
+    e.area_overhead = "NULL";
+    rows.push_back(e);
+  }
+  {
+    // SHADOW (HPCA'23): a handful of reserved rows dedicated to shuffling.
+    // Derivable: 20 reserved rows x 8KB = 0.16MB at the paper's geometry.
+    OverheadEntry e;
+    e.framework = "SHADOW";
+    e.involved_memory = "DRAM";
+    e.dram_bytes = 20 * cfg.geo.row_bytes;
+    e.area_overhead = "0.6%";
+    rows.push_back(e);
+  }
+  {
+    // P-PIM (DATE'23): in-DRAM LUT region for RH self-protection.
+    OverheadEntry e;
+    e.framework = "P-PIM";
+    e.involved_memory = "DRAM";
+    e.dram_bytes = static_cast<u64>(4.125 * static_cast<double>(kMB));
+    e.area_overhead = "0.34%";
+    rows.push_back(e);
+  }
+  rows.push_back(dnn_defender_overhead(cfg));
+
+  for (auto& e : rows) {
+    if (e.capacity_detail.empty()) {
+      std::ostringstream d;
+      bool first = true;
+      auto part = [&](u64 bytes, const char* kind) {
+        if (bytes == 0) return;
+        if (!first) d << " + ";
+        d << fmt_bytes(bytes) << " (" << kind << ")";
+        first = false;
+      };
+      part(e.dram_bytes, "DRAM");
+      part(e.sram_bytes, "SRAM");
+      part(e.cam_bytes, "CAM");
+      if (first) d << "0";
+      e.capacity_detail = d.str();
+    }
+  }
+  return rows;
+}
+
+OverheadEntry dnn_defender_overhead(const dram::DramConfig& /*cfg*/) {
+  // DNN-Defender: zero capacity overhead -- the reserved rows buffer live
+  // data during the swap chain, so no row is lost to the mechanism; the only
+  // cost is the controller-side swap sequencer + RNG (0.02% area).
+  OverheadEntry e;
+  e.framework = "DNN-Defender";
+  e.involved_memory = "DRAM";
+  e.area_overhead = "0.02%";
+  return e;
+}
+
+}  // namespace dnnd::defense

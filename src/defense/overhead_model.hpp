@@ -1,0 +1,38 @@
+// Analytic hardware-overhead model reproducing Table 2: for a 32 GB /
+// 16-bank DDR4 device, the storage type, capacity overhead, and extra area
+// each mitigation requires. Derivable entries (counter-per-row, SHADOW's
+// reserved rows) are computed from the geometry; the rest carry the
+// constants the respective papers report (as the paper's table does).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/dram_config.hpp"
+
+namespace dnnd::defense {
+
+/// Storage a mitigation occupies, split by memory kind.
+struct OverheadEntry {
+  std::string framework;
+  std::string involved_memory;   ///< e.g. "CAM-SRAM", "DRAM"
+  std::string capacity_detail;   ///< human-readable breakdown
+  u64 dram_bytes = 0;
+  u64 sram_bytes = 0;
+  u64 cam_bytes = 0;
+  std::string area_overhead;     ///< counters or % of die, as reported
+
+  [[nodiscard]] u64 total_bytes() const { return dram_bytes + sram_bytes + cam_bytes; }
+  /// True when the mitigation needs fast (SRAM/CAM) storage -- the costly
+  /// resource class the paper highlights.
+  [[nodiscard]] bool needs_fast_memory() const { return sram_bytes + cam_bytes > 0; }
+};
+
+/// The full Table-2 comparison for the given device (use
+/// DramConfig::paper_32gb() to match the paper's 32 GB / 16-bank setting).
+std::vector<OverheadEntry> overhead_table(const dram::DramConfig& cfg);
+
+/// Convenience: the DNN-Defender row only.
+OverheadEntry dnn_defender_overhead(const dram::DramConfig& cfg);
+
+}  // namespace dnnd::defense

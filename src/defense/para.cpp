@@ -1,0 +1,4 @@
+#include "defense/para.hpp"
+
+// Header-only implementation; this TU anchors the vtable.
+namespace dnnd::defense {}

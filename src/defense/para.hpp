@@ -1,0 +1,45 @@
+// PARA (Kim et al., ISCA'14): probabilistic adjacent-row activation. On every
+// ACT, with probability p, the neighbours are refreshed. Stateless (no
+// tracker) but only probabilistically secure; included as the classic
+// baseline and for overhead comparison.
+#pragma once
+
+#include "defense/mitigation.hpp"
+
+namespace dnnd::defense {
+
+struct ParaConfig {
+  double refresh_probability = 0.01;
+  u64 seed = 0xBA5A;
+};
+
+class Para : public Mitigation {
+ public:
+  Para(dram::DramDevice& device, dram::RowRemapper& remap, ParaConfig cfg = {})
+      : Mitigation(device, remap), cfg_(cfg), rng_(cfg.seed) {}
+
+  [[nodiscard]] std::string name() const override { return "PARA"; }
+
+  void on_activate(const dram::RowAddr& row, Picoseconds /*now*/) override {
+    if (in_maintenance()) return;
+    if (!rng_.bernoulli(cfg_.refresh_probability)) return;
+    maintenance([&] {
+      const auto& geo = device_.config().geo;
+      if (row.row >= 1) {
+        device_.activate(dram::RowAddr{row.bank, row.subarray, row.row - 1});
+        device_.precharge(row.bank);
+      }
+      if (row.row + 1 < geo.rows_per_subarray) {
+        device_.activate(dram::RowAddr{row.bank, row.subarray, row.row + 1});
+        device_.precharge(row.bank);
+      }
+      stats_.maintenance_ops += 1;
+    });
+  }
+
+ private:
+  ParaConfig cfg_;
+  sys::Rng rng_;
+};
+
+}  // namespace dnnd::defense

@@ -1,0 +1,52 @@
+#include "defense/shadow.hpp"
+
+namespace dnnd::defense {
+
+using dram::RowAddr;
+
+Shadow::Shadow(dram::DramDevice& device, dram::RowRemapper& remap, ShadowConfig cfg)
+    : Mitigation(device, remap), cfg_(cfg), rng_(cfg.seed) {}
+
+u32 Shadow::reserved_row() const { return device_.config().geo.rows_per_subarray - 1; }
+
+void Shadow::on_activate(const RowAddr& row, Picoseconds /*now*/) {
+  if (in_maintenance()) return;
+  // SHADOW keeps its activation metadata inside DRAM (no SRAM cost).
+  const u64 id = flat_row_id(device_.config().geo, row);
+  const u64 count = ++act_counts_[id];
+  const u64 threshold = static_cast<u64>(
+      cfg_.shuffle_threshold_fraction * static_cast<double>(device_.config().t_rh));
+  if (count < threshold || threshold == 0) return;
+  act_counts_[id] = 0;
+  maintenance([&] {
+    const auto& geo = device_.config().geo;
+    if (row.row >= 1) shuffle_victim(RowAddr{row.bank, row.subarray, row.row - 1});
+    if (row.row + 1 < geo.rows_per_subarray - 1) {  // reserved row is the last
+      shuffle_victim(RowAddr{row.bank, row.subarray, row.row + 1});
+    }
+  });
+}
+
+void Shadow::shuffle_victim(const RowAddr& v) {
+  const auto& geo = device_.config().geo;
+  const u32 res = reserved_row();
+  if (v.row == res) return;
+  // Random destination: any non-reserved row of the subarray except v.
+  u32 dest;
+  do {
+    dest = static_cast<u32>(rng_.uniform(res));
+  } while (dest == v.row);
+  const RowAddr d{v.bank, v.subarray, dest};
+  // Three in-subarray copies through the reserved row.
+  device_.rowclone_fpm(v.bank, v.subarray, v.row, res);   // victim -> reserved
+  device_.rowclone_fpm(v.bank, v.subarray, d.row, v.row); // displaced -> victim slot
+  device_.rowclone_fpm(v.bank, v.subarray, res, d.row);   // reserved -> displaced slot
+  remap_.swap_logical(remap_.to_logical(v), remap_.to_logical(d));
+  // Both physical slots now hold rewritten data; their counters restart.
+  act_counts_.erase(flat_row_id(geo, v));
+  act_counts_.erase(flat_row_id(geo, d));
+  ++shuffles_;
+  stats_.maintenance_ops += 1;
+}
+
+}  // namespace dnnd::defense

@@ -1,0 +1,111 @@
+// Software (training/inference-time) BFA defenses compared in Table 3:
+//   * Binary weight (He et al., CVPR'20): 1-bit weights limit per-flip damage.
+//   * Piece-wise clustering (He et al., CVPR'20): a regularizer pulls each
+//     layer's weights toward two clusters, removing the outliers BFA exploits.
+//   * Weight reconstruction (Li et al., DAC'20): inference-time clamping of
+//     codes to deployment-profiled bounds neutralises large flipped weights.
+//   * RA-BNN (Rakin et al., 2021): robust binary network (modelled as a
+//     wider binary-weight net; see DESIGN.md for the simplification note).
+//   * Model capacity scaling (x16 in the paper): built via the zoo's
+//     width_mult knob.
+// These carry training overhead and/or clean-accuracy loss -- the trade-off
+// DNN-Defender avoids.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "quant/quantizer.hpp"
+
+namespace dnnd::defense::software {
+
+// ----------------------------------------------------------------------
+// Binary-weight representation + its BFA
+// ----------------------------------------------------------------------
+
+/// Binary-weight view of a model: per-layer alpha = mean|w|, weight =
+/// alpha * sign. The attack surface shrinks to one (sign) bit per weight.
+class BinaryWeightModel {
+ public:
+  explicit BinaryWeightModel(nn::Model& model);
+
+  [[nodiscard]] usize num_layers() const { return layers_.size(); }
+  [[nodiscard]] usize layer_size(usize l) const { return layers_.at(l).sign.size(); }
+  [[nodiscard]] u64 total_bits() const;
+
+  [[nodiscard]] bool is_positive(usize layer, usize index) const;
+  /// Flips the sign bit of one weight (and the materialized float weight).
+  void flip(usize layer, usize index);
+
+  /// Rewrites all float weights as alpha * sign.
+  void materialize();
+
+  [[nodiscard]] nn::Model& model() { return model_; }
+  [[nodiscard]] float alpha(usize layer) const { return layers_.at(layer).alpha; }
+  [[nodiscard]] nn::Tensor& grad(usize layer) { return *layers_.at(layer).grad; }
+
+ private:
+  struct BinLayer {
+    nn::Tensor* value;
+    nn::Tensor* grad;
+    float alpha;
+    std::vector<i8> sign;  ///< +1 / -1
+  };
+  nn::Model& model_;
+  std::vector<BinLayer> layers_;
+};
+
+struct BinaryAttackResult {
+  usize flips = 0;
+  double final_accuracy = 0.0;
+  bool reached_stop = false;
+};
+
+/// Progressive bit search adapted to sign bits: candidates ranked by the
+/// first-order gain of a sign flip, dL = g * (-2 * alpha * sign).
+BinaryAttackResult attack_binary(BinaryWeightModel& bm, const nn::Tensor& attack_x,
+                                 const std::vector<u32>& attack_y, usize max_flips,
+                                 double stop_accuracy, usize layers_evaluated = 6);
+
+// ----------------------------------------------------------------------
+// Training-time defenses
+// ----------------------------------------------------------------------
+
+/// Fine-tunes with the piece-wise clustering penalty: each weight is pulled
+/// toward the nearer of {-mu_l, +mu_l} (mu_l = mean|w| per layer) with
+/// strength lambda. Returns the achieved test accuracy.
+double piecewise_clustering_finetune(nn::Model& model, const nn::SplitDataset& data,
+                                     double lambda, usize epochs, double lr, u64 seed);
+
+/// Straight-through-estimator fine-tuning for binary weights: forward/backward
+/// run on binarized weights, updates flow to latent float weights. Leaves the
+/// model with deployed (binarized) weights and returns test accuracy.
+/// Naive post-hoc binarization destroys conv nets; real binary-weight
+/// defenses train the binary representation, which this reproduces.
+double binary_finetune(nn::Model& model, const nn::SplitDataset& data, usize epochs,
+                       double lr, u64 seed);
+
+// ----------------------------------------------------------------------
+// Inference-time defense
+// ----------------------------------------------------------------------
+
+/// Weight reconstruction: at deployment, records per-layer absolute-code
+/// bounds at a percentile; apply() clamps codes back inside the bounds
+/// (undoing the out-of-range values MSB flips create). The default 97th
+/// percentile balances catching MSB outliers against clamping legitimate
+/// large weights (with max-scaled symmetric quantization some code always
+/// sits at +-127, so a loose bound would never catch anything).
+class ReconstructionGuard {
+ public:
+  ReconstructionGuard(const quant::QuantizedModel& qm, double percentile = 0.97);
+
+  /// Clamps all codes to the recorded bounds and re-materializes.
+  /// Returns the number of corrected weights.
+  usize apply(quant::QuantizedModel& qm) const;
+
+  [[nodiscard]] i8 bound(usize layer) const { return bounds_.at(layer); }
+
+ private:
+  std::vector<i8> bounds_;
+};
+
+}  // namespace dnnd::defense::software

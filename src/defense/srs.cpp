@@ -1,0 +1,4 @@
+#include "defense/srs.hpp"
+
+// Implementation inherited from Rrs; this TU anchors the vtable.
+namespace dnnd::defense {}

@@ -1,0 +1,27 @@
+// Scalable and Secure Row-Swap (Woo et al., 2022) -- RRS refined to use far
+// fewer counters (tracking only crucial rows) and a lazy-unswap policy that
+// lowers the swap rate. Modelled as the RRS mechanism with a reduced tracker
+// budget and a higher swap threshold; shares RRS's white-box weakness
+// (aggressor-focused, victim disturbance still accumulates).
+#pragma once
+
+#include "defense/rrs.hpp"
+
+namespace dnnd::defense {
+
+struct SrsConfig {
+  double swap_threshold_fraction = 0.6;
+  usize tracker_entries = 16;
+  u64 seed = 0x5253;
+};
+
+class Srs : public Rrs {
+ public:
+  Srs(dram::DramDevice& device, dram::RowRemapper& remap, SrsConfig cfg = {})
+      : Rrs(device, remap,
+            RrsConfig{cfg.swap_threshold_fraction, cfg.tracker_entries, cfg.seed}) {}
+
+  [[nodiscard]] std::string name() const override { return "SRS"; }
+};
+
+}  // namespace dnnd::defense

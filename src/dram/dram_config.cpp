@@ -1,0 +1,103 @@
+#include "dram/dram_config.hpp"
+
+#include <cassert>
+
+namespace dnnd::dram {
+
+std::string to_string(DeviceGen gen) {
+  switch (gen) {
+    case DeviceGen::kDdr3Old: return "DDR3 (old)";
+    case DeviceGen::kDdr3New: return "DDR3 (new)";
+    case DeviceGen::kDdr4Old: return "DDR4 (old)";
+    case DeviceGen::kDdr4New: return "DDR4 (new)";
+    case DeviceGen::kLpddr4Old: return "LPDDR4 (old)";
+    case DeviceGen::kLpddr4New: return "LPDDR4 (new)";
+  }
+  return "unknown";
+}
+
+u32 rowhammer_threshold(DeviceGen gen) {
+  // Fig. 1(a) of the paper (thousands of hammer counts to first flip).
+  switch (gen) {
+    case DeviceGen::kDdr3Old: return 139'000;
+    case DeviceGen::kDdr3New: return 22'400;
+    case DeviceGen::kDdr4Old: return 17'500;
+    case DeviceGen::kDdr4New: return 10'000;
+    case DeviceGen::kLpddr4Old: return 16'800;
+    case DeviceGen::kLpddr4New: return 4'800;
+  }
+  return 0;
+}
+
+DramConfig DramConfig::sim_small() {
+  DramConfig c;
+  c.geo = Geometry{.banks = 2, .subarrays_per_bank = 4, .rows_per_subarray = 64, .row_bytes = 512};
+  c.gen = DeviceGen::kLpddr4New;
+  c.t_rh = rowhammer_threshold(c.gen);
+  return c;
+}
+
+DramConfig DramConfig::sim_default() {
+  DramConfig c;
+  c.geo = Geometry{.banks = 8, .subarrays_per_bank = 8, .rows_per_subarray = 128, .row_bytes = 1024};
+  c.gen = DeviceGen::kLpddr4New;
+  c.t_rh = rowhammer_threshold(c.gen);
+  return c;
+}
+
+DramConfig DramConfig::nn_scaled() {
+  DramConfig c;
+  c.geo = Geometry{.banks = 8, .subarrays_per_bank = 8, .rows_per_subarray = 128, .row_bytes = 64};
+  c.gen = DeviceGen::kLpddr4New;
+  c.t_rh = rowhammer_threshold(c.gen);
+  return c;
+}
+
+DramConfig DramConfig::paper_32gb() {
+  DramConfig c;
+  // 32 GB / 16 banks / 8 KB rows => 262,144 rows per bank, organised as
+  // 512-row subarrays (512 subarrays per bank).
+  c.geo = Geometry{.banks = 16,
+                   .subarrays_per_bank = 512,
+                   .rows_per_subarray = 512,
+                   .row_bytes = 8192};
+  c.gen = DeviceGen::kDdr4New;
+  c.t_rh = rowhammer_threshold(c.gen);
+  return c;
+}
+
+DramConfig DramConfig::preset(DeviceGen gen) {
+  DramConfig c = sim_default();
+  c.gen = gen;
+  c.t_rh = rowhammer_threshold(gen);
+  switch (gen) {
+    case DeviceGen::kLpddr4Old:
+    case DeviceGen::kLpddr4New:
+      c.energy = sys::EnergyParams::lpddr4();
+      break;
+    default:
+      c.energy = sys::EnergyParams::ddr4();
+      break;
+  }
+  return c;
+}
+
+u64 flat_row_id(const Geometry& geo, const RowAddr& a) {
+  assert(a.bank < geo.banks);
+  assert(a.subarray < geo.subarrays_per_bank);
+  assert(a.row < geo.rows_per_subarray);
+  return (static_cast<u64>(a.bank) * geo.subarrays_per_bank + a.subarray) * geo.rows_per_subarray +
+         a.row;
+}
+
+RowAddr unflatten_row_id(const Geometry& geo, u64 id) {
+  assert(id < geo.total_rows());
+  RowAddr a;
+  a.row = static_cast<u32>(id % geo.rows_per_subarray);
+  id /= geo.rows_per_subarray;
+  a.subarray = static_cast<u32>(id % geo.subarrays_per_bank);
+  a.bank = static_cast<u32>(id / geo.subarrays_per_bank);
+  return a;
+}
+
+}  // namespace dnnd::dram

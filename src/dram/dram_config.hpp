@@ -1,0 +1,90 @@
+// DRAM geometry, timing, and device-generation presets.
+//
+// The simulator is transaction-level: each command advances a picosecond
+// clock by its timing-class cost (tRC for ACT-PRE cycles, tAAP for RowClone
+// pairs, ...). This is the granularity at which the paper reasons
+// (T_swap = 3 x T_AAP, attack window = T_ACT x T_RH), so nothing finer is
+// needed to reproduce its analyses.
+#pragma once
+
+#include <string>
+
+#include "sys/energy_model.hpp"
+#include "sys/types.hpp"
+
+namespace dnnd::dram {
+
+/// DRAM device generations with the RowHammer thresholds reported in the
+/// paper's Fig. 1(a) (data from Kim et al., ISCA'20 as cited there).
+enum class DeviceGen {
+  kDdr3Old,
+  kDdr3New,
+  kDdr4Old,
+  kDdr4New,
+  kLpddr4Old,
+  kLpddr4New,
+};
+
+/// Human-readable generation name ("DDR3 (old)", ...).
+std::string to_string(DeviceGen gen);
+
+/// RowHammer threshold T_RH (hammer count to first bit flip) for a
+/// generation, per Fig. 1(a): DDR3(old)=139K ... LPDDR4(new)=4.8K.
+u32 rowhammer_threshold(DeviceGen gen);
+
+/// Physical organisation of one simulated channel.
+struct Geometry {
+  u32 banks = 8;
+  u32 subarrays_per_bank = 8;
+  u32 rows_per_subarray = 128;
+  u32 row_bytes = 1024;  ///< row (page) size in bytes
+
+  [[nodiscard]] u64 rows_per_bank() const {
+    return static_cast<u64>(subarrays_per_bank) * rows_per_subarray;
+  }
+  [[nodiscard]] u64 total_rows() const { return static_cast<u64>(banks) * rows_per_bank(); }
+  [[nodiscard]] u64 total_bytes() const { return total_rows() * row_bytes; }
+};
+
+/// Complete configuration of a simulated device.
+struct DramConfig {
+  Geometry geo;
+  sys::LatencyParams timing;
+  sys::EnergyParams energy = sys::EnergyParams::ddr4();
+  DeviceGen gen = DeviceGen::kLpddr4New;
+  u32 t_rh = 4'800;        ///< RowHammer threshold in ACTs within a refresh window
+  u32 blast_radius = 1;    ///< +-rows disturbed by an aggressor (1 = immediate neighbours)
+  u32 refresh_steps = 64;  ///< distributed-refresh slices per Tref window
+
+  /// Tiny geometry for unit tests (256 KB).
+  static DramConfig sim_small();
+  /// Default simulation geometry (8 MB) with LPDDR4(new) threshold.
+  static DramConfig sim_default();
+  /// Scaled row granularity for DNN experiments: 64-byte rows so the zoo's
+  /// miniature models (~7k weights, ~1000x smaller than the paper's) spread
+  /// over ~100+ rows, preserving the paper's weights-per-row ratio and
+  /// making row-granular protection meaningfully partial (Fig. 9's SB sweep).
+  static DramConfig nn_scaled();
+  /// Geometry matching the paper's overhead analysis (32 GB, 16 banks).
+  /// For analytic use only -- do not instantiate a DramDevice with it.
+  static DramConfig paper_32gb();
+  /// Preset for a device generation: threshold + energy family.
+  static DramConfig preset(DeviceGen gen);
+};
+
+/// Address of one physical row.
+struct RowAddr {
+  u32 bank = 0;
+  u32 subarray = 0;
+  u32 row = 0;  ///< index within the subarray
+
+  friend bool operator==(const RowAddr&, const RowAddr&) = default;
+};
+
+/// Flattened unique id of a row in [0, total_rows).
+u64 flat_row_id(const Geometry& geo, const RowAddr& a);
+
+/// Inverse of flat_row_id.
+RowAddr unflatten_row_id(const Geometry& geo, u64 id);
+
+}  // namespace dnnd::dram

@@ -1,0 +1,39 @@
+#include "dram/row_remapper.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace dnnd::dram {
+
+RowRemapper::RowRemapper(const Geometry& geo) : geo_(geo) {
+  const usize n = static_cast<usize>(geo.total_rows());
+  log_to_phys_.resize(n);
+  std::iota(log_to_phys_.begin(), log_to_phys_.end(), 0u);
+  phys_to_log_ = log_to_phys_;
+}
+
+RowAddr RowRemapper::to_physical(const RowAddr& logical) const {
+  return unflatten_row_id(geo_, log_to_phys_[flat_row_id(geo_, logical)]);
+}
+
+RowAddr RowRemapper::to_logical(const RowAddr& physical) const {
+  return unflatten_row_id(geo_, phys_to_log_[flat_row_id(geo_, physical)]);
+}
+
+void RowRemapper::swap_logical(const RowAddr& a, const RowAddr& b) {
+  const u64 la = flat_row_id(geo_, a);
+  const u64 lb = flat_row_id(geo_, b);
+  std::swap(log_to_phys_[la], log_to_phys_[lb]);
+  phys_to_log_[log_to_phys_[la]] = static_cast<u32>(la);
+  phys_to_log_[log_to_phys_[lb]] = static_cast<u32>(lb);
+  ++swaps_;
+}
+
+bool RowRemapper::is_identity() const {
+  for (usize i = 0; i < log_to_phys_.size(); ++i) {
+    if (log_to_phys_[i] != i) return false;
+  }
+  return true;
+}
+
+}  // namespace dnnd::dram

@@ -1,0 +1,39 @@
+// Logical-to-physical row indirection maintained by swap-based mitigations
+// (DNN-Defender, RRS, SRS, SHADOW). Software addresses logical rows; swaps
+// retarget them to different physical rows. The white-box attacker of the
+// paper's threat model can observe/track this mapping for *target* rows.
+#pragma once
+
+#include <vector>
+
+#include "dram/dram_config.hpp"
+
+namespace dnnd::dram {
+
+class RowRemapper {
+ public:
+  explicit RowRemapper(const Geometry& geo);
+
+  /// Physical location currently backing a logical row.
+  [[nodiscard]] RowAddr to_physical(const RowAddr& logical) const;
+  /// Logical row currently stored at a physical location.
+  [[nodiscard]] RowAddr to_logical(const RowAddr& physical) const;
+
+  /// Swaps the physical backing of two logical rows (after the defense has
+  /// moved the data with RowClone ops).
+  void swap_logical(const RowAddr& a, const RowAddr& b);
+
+  /// True if the mapping is still the identity everywhere (fresh device).
+  [[nodiscard]] bool is_identity() const;
+
+  /// Number of swap_logical calls performed.
+  [[nodiscard]] u64 swap_count() const { return swaps_; }
+
+ private:
+  Geometry geo_;
+  std::vector<u32> log_to_phys_;
+  std::vector<u32> phys_to_log_;
+  u64 swaps_ = 0;
+};
+
+}  // namespace dnnd::dram

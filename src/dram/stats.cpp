@@ -1,0 +1,16 @@
+#include "dram/stats.hpp"
+
+#include <sstream>
+
+namespace dnnd::dram {
+
+std::string Stats::summary() const {
+  std::ostringstream out;
+  out << "ACT=" << n_act << " PRE=" << n_pre << " RD=" << n_rd_burst << " WR=" << n_wr_burst
+      << " REF=" << n_ref << " AAP=" << n_aap << " PSM=" << n_psm_copy
+      << " flips=" << n_bitflips << " busy=" << ps_to_us(busy_time) << "us"
+      << " energy=" << fj_to_uj(energy) << "uJ";
+  return out.str();
+}
+
+}  // namespace dnnd::dram

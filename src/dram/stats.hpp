@@ -1,0 +1,30 @@
+// Command, timing, and energy statistics accumulated by a DramDevice.
+#pragma once
+
+#include <string>
+
+#include "sys/types.hpp"
+
+namespace dnnd::dram {
+
+/// Per-command counters plus accumulated busy time and energy.
+struct Stats {
+  u64 n_act = 0;
+  u64 n_pre = 0;
+  u64 n_rd_burst = 0;
+  u64 n_wr_burst = 0;
+  u64 n_ref = 0;
+  u64 n_aap = 0;       ///< RowClone FPM intra-subarray copies
+  u64 n_psm_copy = 0;  ///< RowClone PSM inter-bank copies
+  u64 n_bitflips = 0;  ///< RowHammer-induced flips injected into cells
+
+  Picoseconds busy_time = 0;   ///< total time advanced by commands
+  Femtojoules energy = 0;      ///< total dynamic energy
+
+  void reset() { *this = Stats{}; }
+
+  /// Multi-line human-readable dump.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace dnnd::dram

@@ -1,0 +1,108 @@
+#include "models/model_zoo.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dnnd::models {
+
+using nn::BatchNorm2d;
+using nn::Conv2d;
+using nn::Dense;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::MaxPool2d;
+using nn::Model;
+using nn::ReLU;
+using nn::ResidualBlock;
+
+std::unique_ptr<Model> make_vgg11_sub(usize num_classes, u64 seed, usize width_mult) {
+  sys::Rng rng(seed);
+  auto m = std::make_unique<Model>("vgg11_sub");
+  const usize w1 = 6 * width_mult, w2 = 12 * width_mult, w3 = 16 * width_mult;
+  // Block 1: 12x12 -> 6x6
+  m->add(std::make_unique<Conv2d>(3, w1, 3, 1, 1, rng));
+  m->add(std::make_unique<BatchNorm2d>(w1));
+  m->add(std::make_unique<ReLU>());
+  m->add(std::make_unique<MaxPool2d>());
+  // Block 2: 6x6 -> 3x3
+  m->add(std::make_unique<Conv2d>(w1, w2, 3, 1, 1, rng));
+  m->add(std::make_unique<BatchNorm2d>(w2));
+  m->add(std::make_unique<ReLU>());
+  m->add(std::make_unique<MaxPool2d>());
+  // Block 3: keeps 3x3 (VGG's deeper conv pairs, miniaturised)
+  m->add(std::make_unique<Conv2d>(w2, w3, 3, 1, 1, rng));
+  m->add(std::make_unique<BatchNorm2d>(w3));
+  m->add(std::make_unique<ReLU>());
+  // Classifier
+  m->add(std::make_unique<Flatten>());
+  m->add(std::make_unique<Dense>(w3 * 3 * 3, 32 * width_mult, rng));
+  m->add(std::make_unique<ReLU>());
+  m->add(std::make_unique<Dense>(32 * width_mult, num_classes, rng));
+  return m;
+}
+
+namespace {
+
+std::unique_ptr<Model> make_resnet(const std::string& name, const std::vector<usize>& blocks,
+                                   const std::vector<usize>& widths, usize num_classes,
+                                   u64 seed, usize width_mult) {
+  if (blocks.size() != widths.size()) {
+    throw std::invalid_argument("make_resnet: blocks/widths size mismatch");
+  }
+  sys::Rng rng(seed);
+  auto m = std::make_unique<Model>(name);
+  const usize stem = widths[0] * width_mult;
+  m->add(std::make_unique<Conv2d>(3, stem, 3, 1, 1, rng));
+  m->add(std::make_unique<BatchNorm2d>(stem));
+  m->add(std::make_unique<ReLU>());
+  usize in_ch = stem;
+  for (usize s = 0; s < blocks.size(); ++s) {
+    const usize out_ch = widths[s] * width_mult;
+    for (usize b = 0; b < blocks[s]; ++b) {
+      const usize stride = (b == 0 && s > 0) ? 2 : 1;
+      m->add(std::make_unique<ResidualBlock>(in_ch, out_ch, stride, rng));
+      in_ch = out_ch;
+    }
+  }
+  m->add(std::make_unique<GlobalAvgPool>());
+  m->add(std::make_unique<Dense>(in_ch, num_classes, rng));
+  return m;
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_resnet18_sub(usize num_classes, u64 seed, usize width_mult) {
+  return make_resnet("resnet18_sub", {2, 2, 2, 2}, {5, 8, 12, 16}, num_classes, seed,
+                     width_mult);
+}
+
+std::unique_ptr<Model> make_resnet20_sub(usize num_classes, u64 seed, usize width_mult) {
+  return make_resnet("resnet20_sub", {3, 3, 3}, {4, 8, 12}, num_classes, seed, width_mult);
+}
+
+std::unique_ptr<Model> make_resnet34_sub(usize num_classes, u64 seed, usize width_mult) {
+  return make_resnet("resnet34_sub", {3, 4, 6, 3}, {5, 8, 12, 16}, num_classes, seed,
+                     width_mult);
+}
+
+std::unique_ptr<Model> make_test_mlp(usize in_features, usize hidden, usize num_classes,
+                                     u64 seed) {
+  sys::Rng rng(seed);
+  auto m = std::make_unique<Model>("test_mlp");
+  m->add(std::make_unique<Flatten>());
+  m->add(std::make_unique<Dense>(in_features, hidden, rng));
+  m->add(std::make_unique<ReLU>());
+  m->add(std::make_unique<Dense>(hidden, num_classes, rng));
+  return m;
+}
+
+std::unique_ptr<Model> make_by_name(const std::string& name, usize num_classes, u64 seed,
+                                    usize width_mult) {
+  if (name == "vgg11") return make_vgg11_sub(num_classes, seed, width_mult);
+  if (name == "resnet18") return make_resnet18_sub(num_classes, seed, width_mult);
+  if (name == "resnet20") return make_resnet20_sub(num_classes, seed, width_mult);
+  if (name == "resnet34") return make_resnet34_sub(num_classes, seed, width_mult);
+  throw std::invalid_argument("make_by_name: unknown architecture " + name);
+}
+
+}  // namespace dnnd::models

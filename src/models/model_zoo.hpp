@@ -1,0 +1,43 @@
+// Scaled-down stand-ins for the paper's evaluation models.
+//
+// The paper attacks 8-bit quantized VGG-11 (CIFAR-10) and
+// ResNet-18/20/34 (CIFAR-10 / ImageNet). Training those offline is
+// infeasible, so the zoo provides structurally-faithful miniatures:
+//  * vgg11_sub    -- plain conv stack + classifier head (VGG family)
+//  * resnet18_sub -- 4 stages x 2 basic blocks (depth 18 exactly)
+//  * resnet20_sub -- 3 stages x 3 basic blocks (depth 20 exactly, the
+//                    CIFAR ResNet the paper's Table 3 uses)
+//  * resnet34_sub -- 4 stages x {3,4,6,3} basic blocks (depth 34 exactly)
+// Channel widths are shrunk so single-core training takes seconds; the
+// BFA search dynamics (inter-/intra-layer gradient ranking) depend on the
+// topology family and trained-ness, both of which are preserved.
+#pragma once
+
+#include <memory>
+
+#include "nn/model.hpp"
+
+namespace dnnd::models {
+
+/// VGG-11 miniature: conv-BN-ReLU(-pool) stack + 2-layer classifier.
+/// `width_mult` scales every channel width (capacity ablation).
+std::unique_ptr<nn::Model> make_vgg11_sub(usize num_classes, u64 seed, usize width_mult = 1);
+
+/// ResNet-18 miniature: stages {2,2,2,2}, widths {5,8,12,16} * width_mult.
+std::unique_ptr<nn::Model> make_resnet18_sub(usize num_classes, u64 seed, usize width_mult = 1);
+
+/// ResNet-20 miniature (CIFAR-style): stages {3,3,3}, widths {4,8,12} * mult.
+std::unique_ptr<nn::Model> make_resnet20_sub(usize num_classes, u64 seed, usize width_mult = 1);
+
+/// ResNet-34 miniature: stages {3,4,6,3}, widths {5,8,12,16} * mult.
+std::unique_ptr<nn::Model> make_resnet34_sub(usize num_classes, u64 seed, usize width_mult = 1);
+
+/// Tiny MLP for unit tests (dense-relu-dense on flattened input).
+std::unique_ptr<nn::Model> make_test_mlp(usize in_features, usize hidden, usize num_classes,
+                                         u64 seed);
+
+/// Builds a model by paper name: "vgg11", "resnet18", "resnet20", "resnet34".
+std::unique_ptr<nn::Model> make_by_name(const std::string& name, usize num_classes, u64 seed,
+                                        usize width_mult = 1);
+
+}  // namespace dnnd::models

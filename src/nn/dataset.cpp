@@ -1,0 +1,150 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dnnd::nn {
+
+SynthSpec SynthSpec::cifar10_like() {
+  SynthSpec s;
+  s.num_classes = 10;
+  s.train_per_class = 200;
+  s.test_per_class = 40;
+  s.noise = 2.2;   // tuned so the zoo models land near the paper's ~92% clean acc
+  s.max_shift = 2;
+  s.seed = 0xC1FA8;
+  return s;
+}
+
+SynthSpec SynthSpec::imagenet_like() {
+  SynthSpec s;
+  s.num_classes = 20;
+  s.train_per_class = 120;
+  s.test_per_class = 24;
+  s.noise = 1.5;   // more classes are intrinsically harder; keep acc ~80-95%
+  s.max_shift = 2;
+  s.seed = 0x1A6E7;
+  return s;
+}
+
+std::pair<Tensor, std::vector<u32>> Dataset::gather(const std::vector<usize>& indices) const {
+  const usize c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const usize stride = c * h * w;
+  Tensor batch({indices.size(), c, h, w});
+  std::vector<u32> y(indices.size());
+  for (usize i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < size());
+    std::copy_n(images.data() + indices[i] * stride, stride, batch.data() + i * stride);
+    y[i] = labels[indices[i]];
+  }
+  return {std::move(batch), std::move(y)};
+}
+
+std::pair<Tensor, std::vector<u32>> Dataset::head(usize n) const {
+  n = std::min(n, size());
+  std::vector<usize> idx(n);
+  for (usize i = 0; i < n; ++i) idx[i] = i;
+  return gather(idx);
+}
+
+namespace {
+
+/// Bilinearly upsamples a coarse grid to (h, w).
+void upsample_bilinear(const std::vector<float>& coarse, usize ch, usize cw, float* out,
+                       usize h, usize w) {
+  for (usize i = 0; i < h; ++i) {
+    const double fy = (static_cast<double>(i) + 0.5) / h * ch - 0.5;
+    const isize y0 = static_cast<isize>(std::floor(fy));
+    const double wy = fy - y0;
+    for (usize j = 0; j < w; ++j) {
+      const double fx = (static_cast<double>(j) + 0.5) / w * cw - 0.5;
+      const isize x0 = static_cast<isize>(std::floor(fx));
+      const double wx = fx - x0;
+      auto pick = [&](isize y, isize x) -> double {
+        y = std::clamp<isize>(y, 0, static_cast<isize>(ch) - 1);
+        x = std::clamp<isize>(x, 0, static_cast<isize>(cw) - 1);
+        return coarse[static_cast<usize>(y) * cw + static_cast<usize>(x)];
+      };
+      const double v = (1 - wy) * ((1 - wx) * pick(y0, x0) + wx * pick(y0, x0 + 1)) +
+                       wy * ((1 - wx) * pick(y0 + 1, x0) + wx * pick(y0 + 1, x0 + 1));
+      out[i * w + j] = static_cast<float>(v);
+    }
+  }
+}
+
+/// Per-class smooth template: one coarse 4x4 pattern per channel.
+std::vector<float> make_template(const SynthSpec& spec, sys::Rng& rng) {
+  const usize chw = spec.channels * spec.height * spec.width;
+  std::vector<float> tpl(chw);
+  constexpr usize kCoarse = 4;
+  std::vector<float> coarse(kCoarse * kCoarse);
+  for (usize c = 0; c < spec.channels; ++c) {
+    for (auto& v : coarse) v = static_cast<float>(rng.normal(0.0, 1.0));
+    upsample_bilinear(coarse, kCoarse, kCoarse, tpl.data() + c * spec.height * spec.width,
+                      spec.height, spec.width);
+  }
+  return tpl;
+}
+
+/// Draws one sample of a class: shifted, amplitude-jittered, noisy template.
+void draw_sample(const SynthSpec& spec, const std::vector<float>& tpl, sys::Rng& rng,
+                 float* out) {
+  const i64 max_shift = spec.max_shift;
+  const i64 dy = max_shift == 0 ? 0 : rng.uniform_range(-max_shift, max_shift);
+  const i64 dx = max_shift == 0 ? 0 : rng.uniform_range(-max_shift, max_shift);
+  const double amp = 1.0 + spec.amplitude_jitter * (2.0 * rng.uniform01() - 1.0);
+  const usize h = spec.height, w = spec.width;
+  for (usize c = 0; c < spec.channels; ++c) {
+    const float* t = tpl.data() + c * h * w;
+    float* o = out + c * h * w;
+    for (usize i = 0; i < h; ++i) {
+      const usize si = static_cast<usize>(
+          std::clamp<i64>(static_cast<i64>(i) + dy, 0, static_cast<i64>(h) - 1));
+      for (usize j = 0; j < w; ++j) {
+        const usize sj = static_cast<usize>(
+            std::clamp<i64>(static_cast<i64>(j) + dx, 0, static_cast<i64>(w) - 1));
+        o[i * w + j] = static_cast<float>(amp * t[si * w + sj] + rng.normal(0.0, spec.noise));
+      }
+    }
+  }
+}
+
+Dataset build_split(const SynthSpec& spec, const std::vector<std::vector<float>>& templates,
+                    usize per_class, sys::Rng& rng) {
+  const usize n = spec.num_classes * per_class;
+  const usize chw = spec.channels * spec.height * spec.width;
+  Dataset ds;
+  ds.images = Tensor({n, spec.channels, spec.height, spec.width});
+  ds.labels.resize(n);
+  ds.num_classes = spec.num_classes;
+  // Interleave classes so any prefix (Dataset::head) is class-balanced.
+  usize idx = 0;
+  for (usize s = 0; s < per_class; ++s) {
+    for (usize c = 0; c < spec.num_classes; ++c) {
+      draw_sample(spec, templates[c], rng, ds.images.data() + idx * chw);
+      ds.labels[idx] = static_cast<u32>(c);
+      ++idx;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+SplitDataset make_synthetic(const SynthSpec& spec) {
+  sys::Rng root(spec.seed);
+  sys::Rng tpl_rng = root.split("templates");
+  std::vector<std::vector<float>> templates;
+  templates.reserve(spec.num_classes);
+  for (usize c = 0; c < spec.num_classes; ++c) templates.push_back(make_template(spec, tpl_rng));
+  sys::Rng train_rng = root.split("train");
+  sys::Rng test_rng = root.split("test");
+  SplitDataset out;
+  out.spec = spec;
+  out.train = build_split(spec, templates, spec.train_per_class, train_rng);
+  out.test = build_split(spec, templates, spec.test_per_class, test_rng);
+  return out;
+}
+
+}  // namespace dnnd::nn

@@ -1,0 +1,450 @@
+#include "nn/layers.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dnnd::nn {
+
+// ---------------------------------------------------------------- Dense ----
+
+Dense::Dense(usize in_features, usize out_features, sys::Rng& rng)
+    : weight(Tensor::he_normal({out_features, in_features}, in_features, rng)),
+      bias(Tensor::zeros({out_features})),
+      dweight(Tensor::zeros({out_features, in_features})),
+      dbias(Tensor::zeros({out_features})),
+      in_(in_features),
+      out_(out_features) {}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 2 && x.dim(1) == in_);
+  x_cache_ = x;
+  const usize n = x.dim(0);
+  Tensor y({n, out_});
+  for (usize i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    for (usize o = 0; o < out_; ++o) {
+      const float* w = weight.data() + o * in_;
+      float acc = bias[o];
+      for (usize j = 0; j < in_; ++j) acc += w[j] * xi[j];
+      y.at2(i, o) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& dy) {
+  const usize n = x_cache_.dim(0);
+  assert(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == out_);
+  Tensor dx({n, in_});
+  for (usize i = 0; i < n; ++i) {
+    const float* xi = x_cache_.data() + i * in_;
+    float* dxi = dx.data() + i * in_;
+    for (usize o = 0; o < out_; ++o) {
+      const float g = dy.at2(i, o);
+      if (g == 0.0f) continue;
+      const float* w = weight.data() + o * in_;
+      float* dw = dweight.data() + o * in_;
+      dbias[o] += g;
+      for (usize j = 0; j < in_; ++j) {
+        dw[j] += g * xi[j];
+        dxi[j] += g * w[j];
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Dense::params() {
+  return {{"weight", &weight, &dweight, /*quantizable=*/true},
+          {"bias", &bias, &dbias, /*quantizable=*/false}};
+}
+
+// --------------------------------------------------------------- Conv2d ----
+
+Conv2d::Conv2d(usize in_ch, usize out_ch, usize kernel, usize stride, usize padding,
+               sys::Rng& rng)
+    : weight(Tensor::he_normal({out_ch, in_ch, kernel, kernel}, in_ch * kernel * kernel, rng)),
+      bias(Tensor::zeros({out_ch})),
+      dweight(Tensor::zeros({out_ch, in_ch, kernel, kernel})),
+      dbias(Tensor::zeros({out_ch})),
+      in_ch_(in_ch),
+      out_ch_(out_ch),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding) {}
+
+Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4 && x.dim(1) == in_ch_);
+  x_cache_ = x;
+  const usize n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const usize oh = out_size(h), ow = out_size(w);
+  Tensor y({n, out_ch_, oh, ow});
+  for (usize b = 0; b < n; ++b) {
+    for (usize oc = 0; oc < out_ch_; ++oc) {
+      for (usize i = 0; i < oh; ++i) {
+        for (usize j = 0; j < ow; ++j) {
+          float acc = bias[oc];
+          for (usize ic = 0; ic < in_ch_; ++ic) {
+            for (usize ki = 0; ki < k_; ++ki) {
+              const isize hi = static_cast<isize>(i * stride_ + ki) - static_cast<isize>(pad_);
+              if (hi < 0 || hi >= static_cast<isize>(h)) continue;
+              for (usize kj = 0; kj < k_; ++kj) {
+                const isize wj = static_cast<isize>(j * stride_ + kj) - static_cast<isize>(pad_);
+                if (wj < 0 || wj >= static_cast<isize>(w)) continue;
+                acc += weight.at4(oc, ic, ki, kj) *
+                       x.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj));
+              }
+            }
+          }
+          y.at4(b, oc, i, j) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  const Tensor& x = x_cache_;
+  const usize n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const usize oh = dy.dim(2), ow = dy.dim(3);
+  Tensor dx({n, in_ch_, h, w});
+  for (usize b = 0; b < n; ++b) {
+    for (usize oc = 0; oc < out_ch_; ++oc) {
+      for (usize i = 0; i < oh; ++i) {
+        for (usize j = 0; j < ow; ++j) {
+          const float g = dy.at4(b, oc, i, j);
+          if (g == 0.0f) continue;
+          dbias[oc] += g;
+          for (usize ic = 0; ic < in_ch_; ++ic) {
+            for (usize ki = 0; ki < k_; ++ki) {
+              const isize hi = static_cast<isize>(i * stride_ + ki) - static_cast<isize>(pad_);
+              if (hi < 0 || hi >= static_cast<isize>(h)) continue;
+              for (usize kj = 0; kj < k_; ++kj) {
+                const isize wj = static_cast<isize>(j * stride_ + kj) - static_cast<isize>(pad_);
+                if (wj < 0 || wj >= static_cast<isize>(w)) continue;
+                dweight.at4(oc, ic, ki, kj) +=
+                    g * x.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj));
+                dx.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj)) +=
+                    g * weight.at4(oc, ic, ki, kj);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{"weight", &weight, &dweight, /*quantizable=*/true},
+          {"bias", &bias, &dbias, /*quantizable=*/false}};
+}
+
+// ----------------------------------------------------------------- ReLU ----
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (usize i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  assert(dy.size() == mask_.size());
+  Tensor dx(dy.shape());
+  for (usize i = 0; i < dy.size(); ++i) dx[i] = dy[i] * mask_[i];
+  return dx;
+}
+
+// ------------------------------------------------------------ MaxPool2d ----
+
+Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4);
+  in_shape_ = x.shape();
+  const usize n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const usize oh = h / 2, ow = w / 2;
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(n * c * oh * ow, 0);
+  usize out_idx = 0;
+  for (usize b = 0; b < n; ++b) {
+    for (usize ch = 0; ch < c; ++ch) {
+      for (usize i = 0; i < oh; ++i) {
+        for (usize j = 0; j < ow; ++j) {
+          float best = -std::numeric_limits<float>::infinity();
+          usize best_idx = 0;
+          for (usize di = 0; di < 2; ++di) {
+            for (usize dj = 0; dj < 2; ++dj) {
+              const usize hi = i * 2 + di, wj = j * 2 + dj;
+              const usize idx = ((b * c + ch) * h + hi) * w + wj;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y.at4(b, ch, i, j) = best;
+          argmax_[out_idx++] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& dy) {
+  Tensor dx(in_shape_);
+  for (usize i = 0; i < dy.size(); ++i) dx[argmax_[i]] += dy[i];
+  return dx;
+}
+
+// -------------------------------------------------------- GlobalAvgPool ----
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  assert(x.rank() == 4);
+  in_shape_ = x.shape();
+  const usize n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (usize b = 0; b < n; ++b) {
+    for (usize ch = 0; ch < c; ++ch) {
+      double acc = 0.0;
+      const float* p = x.data() + (b * c + ch) * hw;
+      for (usize i = 0; i < hw; ++i) acc += p[i];
+      y.at2(b, ch) = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& dy) {
+  const usize n = in_shape_[0], c = in_shape_[1], hw = in_shape_[2] * in_shape_[3];
+  Tensor dx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (usize b = 0; b < n; ++b) {
+    for (usize ch = 0; ch < c; ++ch) {
+      const float g = dy.at2(b, ch) * inv;
+      float* p = dx.data() + (b * c + ch) * hw;
+      for (usize i = 0; i < hw; ++i) p[i] = g;
+    }
+  }
+  return dx;
+}
+
+// -------------------------------------------------------------- Flatten ----
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  in_shape_ = x.shape();
+  usize f = 1;
+  for (usize i = 1; i < x.rank(); ++i) f *= x.dim(i);
+  return x.reshaped({x.dim(0), f});
+}
+
+Tensor Flatten::backward(const Tensor& dy) { return dy.reshaped(in_shape_); }
+
+// ---------------------------------------------------------- BatchNorm2d ----
+
+BatchNorm2d::BatchNorm2d(usize channels, float momentum, float eps)
+    : gamma(Tensor::full({channels}, 1.0f)),
+      beta(Tensor::zeros({channels})),
+      dgamma(Tensor::zeros({channels})),
+      dbeta(Tensor::zeros({channels})),
+      running_mean(Tensor::zeros({channels})),
+      running_var(Tensor::full({channels}, 1.0f)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps) {}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  assert(x.rank() == 4 && x.dim(1) == channels_);
+  in_shape_ = x.shape();
+  const usize n = x.dim(0), c = channels_, hw = x.dim(2) * x.dim(3);
+  const usize count = n * hw;
+  batch_mean_.assign(c, 0.0f);
+  batch_inv_std_.assign(c, 0.0f);
+  Tensor y(x.shape());
+  x_hat_ = Tensor(x.shape());
+  for (usize ch = 0; ch < c; ++ch) {
+    double mean = 0.0, var = 0.0;
+    if (train) {
+      for (usize b = 0; b < n; ++b) {
+        const float* p = x.data() + (b * c + ch) * hw;
+        for (usize i = 0; i < hw; ++i) mean += p[i];
+      }
+      mean /= static_cast<double>(count);
+      for (usize b = 0; b < n; ++b) {
+        const float* p = x.data() + (b * c + ch) * hw;
+        for (usize i = 0; i < hw; ++i) {
+          const double d = p[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(count);
+      running_mean[ch] = (1.0f - momentum_) * running_mean[ch] +
+                         momentum_ * static_cast<float>(mean);
+      running_var[ch] =
+          (1.0f - momentum_) * running_var[ch] + momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean[ch];
+      var = running_var[ch];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    batch_mean_[ch] = static_cast<float>(mean);
+    batch_inv_std_[ch] = inv_std;
+    for (usize b = 0; b < n; ++b) {
+      const float* p = x.data() + (b * c + ch) * hw;
+      float* xh = x_hat_.data() + (b * c + ch) * hw;
+      float* yp = y.data() + (b * c + ch) * hw;
+      for (usize i = 0; i < hw; ++i) {
+        xh[i] = (p[i] - static_cast<float>(mean)) * inv_std;
+        yp[i] = gamma[ch] * xh[i] + beta[ch];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& dy) {
+  const usize n = in_shape_[0], c = channels_, hw = in_shape_[2] * in_shape_[3];
+  const double count = static_cast<double>(n * hw);
+  Tensor dx(in_shape_);
+  for (usize ch = 0; ch < c; ++ch) {
+    // Standard batch-norm backward using cached x_hat and inv_std.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (usize b = 0; b < n; ++b) {
+      const float* gy = dy.data() + (b * c + ch) * hw;
+      const float* xh = x_hat_.data() + (b * c + ch) * hw;
+      for (usize i = 0; i < hw; ++i) {
+        sum_dy += gy[i];
+        sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
+      }
+    }
+    dbeta[ch] += static_cast<float>(sum_dy);
+    dgamma[ch] += static_cast<float>(sum_dy_xhat);
+    const float g = gamma[ch], inv_std = batch_inv_std_[ch];
+    for (usize b = 0; b < n; ++b) {
+      const float* gy = dy.data() + (b * c + ch) * hw;
+      const float* xh = x_hat_.data() + (b * c + ch) * hw;
+      float* gx = dx.data() + (b * c + ch) * hw;
+      for (usize i = 0; i < hw; ++i) {
+        gx[i] = static_cast<float>(
+            static_cast<double>(g) * inv_std *
+            (static_cast<double>(gy[i]) - sum_dy / count -
+             static_cast<double>(xh[i]) * sum_dy_xhat / count));
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  return {{"gamma", &gamma, &dgamma, /*quantizable=*/false},
+          {"beta", &beta, &dbeta, /*quantizable=*/false}};
+}
+
+// ------------------------------------------------------------ Sequential ----
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& dy) {
+  Tensor g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::state_tensors() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* t : l->state_tensors()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (usize i = 0; i < layers_.size(); ++i) {
+    for (auto& p : layers_[i]->params()) {
+      p.name = std::to_string(i) + "." + layers_[i]->name() + "." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------- ResidualBlock ----
+
+ResidualBlock::ResidualBlock(usize in_ch, usize out_ch, usize stride, sys::Rng& rng) {
+  body_.add(std::make_unique<Conv2d>(in_ch, out_ch, 3, stride, 1, rng));
+  body_.add(std::make_unique<BatchNorm2d>(out_ch));
+  body_.add(std::make_unique<ReLU>());
+  body_.add(std::make_unique<Conv2d>(out_ch, out_ch, 3, 1, 1, rng));
+  body_.add(std::make_unique<BatchNorm2d>(out_ch));
+  if (stride != 1 || in_ch != out_ch) {
+    projection_ = std::make_unique<Sequential>();
+    projection_->add(std::make_unique<Conv2d>(in_ch, out_ch, 1, stride, 0, rng));
+    projection_->add(std::make_unique<BatchNorm2d>(out_ch));
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  x_cache_ = x;
+  Tensor f = body_.forward(x, train);
+  Tensor s = projection_ ? projection_->forward(x, train) : x;
+  assert(f.size() == s.size());
+  Tensor y(f.shape());
+  sum_mask_ = Tensor(f.shape());
+  for (usize i = 0; i < f.size(); ++i) {
+    const float v = f[i] + s[i];
+    const bool pos = v > 0.0f;
+    sum_mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? v : 0.0f;
+  }
+  return y;
+}
+
+Tensor ResidualBlock::backward(const Tensor& dy) {
+  Tensor dsum(dy.shape());
+  for (usize i = 0; i < dy.size(); ++i) dsum[i] = dy[i] * sum_mask_[i];
+  Tensor dx_body = body_.backward(dsum);
+  if (projection_) {
+    Tensor dx_proj = projection_->backward(dsum);
+    dx_body.add_(dx_proj);
+    return dx_body;
+  }
+  dx_body.add_(dsum);
+  return dx_body;
+}
+
+std::vector<Tensor*> ResidualBlock::state_tensors() {
+  std::vector<Tensor*> out = body_.state_tensors();
+  if (projection_) {
+    for (Tensor* t : projection_->state_tensors()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> out;
+  for (auto& p : body_.params()) {
+    p.name = "body." + p.name;
+    out.push_back(p);
+  }
+  if (projection_) {
+    for (auto& p : projection_->params()) {
+      p.name = "proj." + p.name;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace dnnd::nn

@@ -1,0 +1,201 @@
+// Neural-network layers with full forward/backward passes. Every layer caches
+// what its backward pass needs during forward; backward accumulates parameter
+// gradients (call Model::zero_grad between batches) and returns dL/dx.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dnnd::nn {
+
+/// A named view of one parameter tensor and its gradient buffer.
+/// `quantizable` marks weights the BFA threat model targets (conv/dense
+/// weights); biases and batch-norm affine parameters are not quantized,
+/// matching the paper's 8-bit weight-only quantization.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool quantizable = false;
+};
+
+/// Abstract layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `train` toggles batch-statistics behaviour
+  /// (BatchNorm) -- it does not change caching; backward is always legal
+  /// after forward.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Propagates dL/dy -> dL/dx, accumulating parameter gradients.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Parameter views (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Non-parameter persistent state (BatchNorm running statistics). Needed
+  /// to snapshot/restore a model completely.
+  virtual std::vector<Tensor*> state_tensors() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fully-connected layer: y = x W^T + b, W: {out, in}.
+class Dense final : public Layer {
+ public:
+  Dense(usize in_features, usize out_features, sys::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "dense"; }
+
+  [[nodiscard]] usize in_features() const { return in_; }
+  [[nodiscard]] usize out_features() const { return out_; }
+
+  Tensor weight;  ///< {out, in}
+  Tensor bias;    ///< {out}
+  Tensor dweight;
+  Tensor dbias;
+
+ private:
+  usize in_, out_;
+  Tensor x_cache_;
+};
+
+/// 2-D convolution, square kernel, NCHW. y = conv(x, W) + b.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(usize in_ch, usize out_ch, usize kernel, usize stride, usize padding, sys::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<ParamRef> params() override;
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+  [[nodiscard]] usize out_size(usize in_size) const { return (in_size + 2 * pad_ - k_) / stride_ + 1; }
+
+  Tensor weight;  ///< {out_ch, in_ch, k, k}
+  Tensor bias;    ///< {out_ch}
+  Tensor dweight;
+  Tensor dbias;
+
+ private:
+  usize in_ch_, out_ch_, k_, stride_, pad_;
+  Tensor x_cache_;
+};
+
+/// Elementwise max(x, 0).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+
+ private:
+  Tensor mask_;  ///< 1 where x > 0
+};
+
+/// 2x2 max pooling with stride 2 (the only configuration the zoo needs).
+class MaxPool2d final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "maxpool2d"; }
+
+ private:
+  std::vector<usize> argmax_;  ///< flat input index chosen per output element
+  std::vector<usize> in_shape_;
+};
+
+/// Global average pooling: {N,C,H,W} -> {N,C}.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "gap"; }
+
+ private:
+  std::vector<usize> in_shape_;
+};
+
+/// {N,C,H,W} -> {N, C*H*W}.
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+ private:
+  std::vector<usize> in_shape_;
+};
+
+/// Per-channel batch normalisation for NCHW tensors with running statistics.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(usize channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<ParamRef> params() override;
+  std::vector<Tensor*> state_tensors() override { return {&running_mean, &running_var}; }
+  [[nodiscard]] std::string name() const override { return "batchnorm2d"; }
+
+  Tensor gamma, beta, dgamma, dbeta;
+  Tensor running_mean, running_var;
+
+ private:
+  usize channels_;
+  float momentum_, eps_;
+  // caches for backward
+  Tensor x_hat_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+  std::vector<usize> in_shape_;
+};
+
+/// Executes contained layers in order. Used standalone and as the body of
+/// residual blocks.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  [[nodiscard]] usize layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(usize i) { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<ParamRef> params() override;
+  std::vector<Tensor*> state_tensors() override;
+  [[nodiscard]] std::string name() const override { return "sequential"; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// ResNet basic block: y = relu(F(x) + shortcut(x)), where F is
+/// conv-bn-relu-conv-bn and shortcut is identity or a 1x1 projection.
+class ResidualBlock final : public Layer {
+ public:
+  /// stride > 1 or in_ch != out_ch selects a projection shortcut.
+  ResidualBlock(usize in_ch, usize out_ch, usize stride, sys::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<ParamRef> params() override;
+  std::vector<Tensor*> state_tensors() override;
+  [[nodiscard]] std::string name() const override { return "resblock"; }
+
+ private:
+  Sequential body_;
+  std::unique_ptr<Sequential> projection_;  ///< null for identity shortcut
+  Tensor x_cache_;
+  Tensor sum_mask_;  ///< relu mask of (F(x) + shortcut)
+};
+
+}  // namespace dnnd::nn

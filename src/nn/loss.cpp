@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dnnd::nn {
+
+namespace {
+/// Writes softmax probabilities of one row into `probs` (stable form).
+void row_softmax(const float* logits, usize c, std::vector<double>& probs) {
+  double mx = logits[0];
+  for (usize j = 1; j < c; ++j) mx = std::max(mx, static_cast<double>(logits[j]));
+  double denom = 0.0;
+  for (usize j = 0; j < c; ++j) {
+    probs[j] = std::exp(static_cast<double>(logits[j]) - mx);
+    denom += probs[j];
+  }
+  for (usize j = 0; j < c; ++j) probs[j] /= denom;
+}
+}  // namespace
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels) {
+  assert(logits.rank() == 2);
+  const usize n = logits.dim(0), c = logits.dim(1);
+  assert(labels.size() == n);
+  LossResult out;
+  out.dlogits = Tensor({n, c});
+  std::vector<double> probs(c);
+  double total = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    row_softmax(row, c, probs);
+    const u32 y = labels[i];
+    assert(y < c);
+    total += -std::log(std::max(probs[y], 1e-12));
+    usize best = 0;
+    for (usize j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == y) out.correct += 1;
+    for (usize j = 0; j < c; ++j) {
+      out.dlogits.at2(i, j) =
+          static_cast<float>((probs[j] - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
+    }
+  }
+  out.loss = total / static_cast<double>(n);
+  return out;
+}
+
+double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<u32>& labels) {
+  assert(logits.rank() == 2);
+  const usize n = logits.dim(0), c = logits.dim(1);
+  std::vector<double> probs(c);
+  double total = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    row_softmax(logits.data() + i * c, c, probs);
+    total += -std::log(std::max(probs[labels[i]], 1e-12));
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<u32> argmax_rows(const Tensor& logits) {
+  const usize n = logits.dim(0), c = logits.dim(1);
+  std::vector<u32> out(n);
+  for (usize i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    usize best = 0;
+    for (usize j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<u32>(best);
+  }
+  return out;
+}
+
+}  // namespace dnnd::nn

@@ -1,0 +1,27 @@
+// Softmax cross-entropy loss (the inference loss L that the BFA maximises).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dnnd::nn {
+
+/// Result of a loss evaluation over a batch.
+struct LossResult {
+  double loss = 0.0;      ///< mean cross-entropy
+  Tensor dlogits;         ///< gradient w.r.t. the logits (already /N)
+  usize correct = 0;      ///< argmax hits, for accuracy bookkeeping
+};
+
+/// Computes mean softmax cross-entropy and its gradient for logits {N, C}.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels);
+
+/// Loss only (no gradient allocation) -- used by attack inner loops where
+/// only the scalar matters.
+double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<u32>& labels);
+
+/// Argmax class per row of logits {N, C}.
+std::vector<u32> argmax_rows(const Tensor& logits);
+
+}  // namespace dnnd::nn

@@ -1,0 +1,65 @@
+#include "nn/model.hpp"
+
+namespace dnnd::nn {
+
+std::vector<ParamRef> Model::quantizable_params() {
+  std::vector<ParamRef> out;
+  for (auto& p : params()) {
+    if (p.quantizable) out.push_back(p);
+  }
+  return out;
+}
+
+void Model::zero_grad() {
+  for (auto& p : params()) p.grad->zero();
+}
+
+std::vector<Tensor> Model::save_state() {
+  std::vector<Tensor> out;
+  for (auto& p : params()) out.push_back(*p.value);
+  for (Tensor* t : net_.state_tensors()) out.push_back(*t);
+  return out;
+}
+
+void Model::load_state(const std::vector<Tensor>& snapshot) {
+  usize i = 0;
+  for (auto& p : params()) *p.value = snapshot.at(i++);
+  for (Tensor* t : net_.state_tensors()) *t = snapshot.at(i++);
+}
+
+usize Model::param_count() {
+  usize n = 0;
+  for (auto& p : params()) n += p.value->size();
+  return n;
+}
+
+usize Model::weight_count() {
+  usize n = 0;
+  for (auto& p : quantizable_params()) n += p.value->size();
+  return n;
+}
+
+LossResult Model::loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
+                                bool train_mode) {
+  Tensor logits = forward(x, train_mode);
+  LossResult res = softmax_cross_entropy(logits, labels);
+  backward(res.dlogits);
+  return res;
+}
+
+double Model::loss(const Tensor& x, const std::vector<u32>& labels) {
+  Tensor logits = forward(x, /*train=*/false);
+  return softmax_cross_entropy_loss(logits, labels);
+}
+
+double Model::accuracy(const Tensor& x, const std::vector<u32>& labels) {
+  Tensor logits = forward(x, /*train=*/false);
+  const auto pred = argmax_rows(logits);
+  usize hits = 0;
+  for (usize i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pred.size() == 0 ? 1 : pred.size());
+}
+
+}  // namespace dnnd::nn

@@ -1,0 +1,66 @@
+// Model: a Sequential network plus the bookkeeping the trainer, quantizer,
+// and attacks need -- flat parameter enumeration, gradient reset, batch
+// forward/backward, and prediction helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace dnnd::nn {
+
+class Model {
+ public:
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a layer to the network.
+  void add(std::unique_ptr<Layer> layer) { net_.add(std::move(layer)); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Sequential& net() { return net_; }
+
+  /// Forward pass; `train` selects batch statistics for BatchNorm.
+  Tensor forward(const Tensor& x, bool train = false) { return net_.forward(x, train); }
+
+  /// Backward pass from dL/dlogits.
+  void backward(const Tensor& dlogits) { net_.backward(dlogits); }
+
+  /// All parameters in declaration order with hierarchical names.
+  std::vector<ParamRef> params() { return net_.params(); }
+
+  /// Only the BFA-targetable (quantizable) weight tensors.
+  std::vector<ParamRef> quantizable_params();
+
+  /// Zeroes every gradient buffer.
+  void zero_grad();
+
+  /// Complete value snapshot: all parameters plus persistent layer state
+  /// (BatchNorm running statistics). Restoring reproduces inference exactly.
+  [[nodiscard]] std::vector<Tensor> save_state();
+  void load_state(const std::vector<Tensor>& snapshot);
+
+  /// Total parameter count (all) and quantizable weight count.
+  [[nodiscard]] usize param_count();
+  [[nodiscard]] usize weight_count();
+
+  /// Computes loss and accumulates gradients on a batch. Uses train=false
+  /// statistics by default (the BFA computes gradients of the *inference*
+  /// loss, i.e. with frozen BatchNorm statistics, per the threat model).
+  LossResult loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
+                           bool train_mode = false);
+
+  /// Loss only, no gradients.
+  double loss(const Tensor& x, const std::vector<u32>& labels);
+
+  /// Fraction of correct argmax predictions on (x, labels).
+  double accuracy(const Tensor& x, const std::vector<u32>& labels);
+
+ private:
+  std::string name_;
+  Sequential net_;
+};
+
+}  // namespace dnnd::nn

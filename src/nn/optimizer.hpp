@@ -1,0 +1,34 @@
+// SGD with momentum and weight decay -- sufficient to train every model in
+// the zoo to >85-95% on the synthetic datasets within seconds.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace dnnd::nn {
+
+struct SgdConfig {
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+};
+
+class SgdOptimizer {
+ public:
+  SgdOptimizer(Model& model, SgdConfig cfg);
+
+  /// Applies one update from the currently-accumulated gradients.
+  void step();
+
+  /// Overrides the learning rate (for schedules).
+  void set_lr(double lr) { cfg_.lr = lr; }
+  [[nodiscard]] double lr() const { return cfg_.lr; }
+
+ private:
+  Model& model_;
+  SgdConfig cfg_;
+  std::vector<Tensor> velocity_;  ///< parallel to model_.params()
+};
+
+}  // namespace dnnd::nn

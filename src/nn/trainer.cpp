@@ -1,0 +1,78 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+namespace dnnd::nn {
+
+TrainReport train(Model& model, const SplitDataset& data, const TrainConfig& cfg) {
+  SgdOptimizer opt(model, cfg.sgd);
+  sys::Rng rng(cfg.shuffle_seed);
+  const usize n = data.train.size();
+  std::vector<usize> order(n);
+  std::iota(order.begin(), order.end(), usize{0});
+
+  TrainReport report;
+  for (usize epoch = 0; epoch < cfg.epochs; ++epoch) {
+    if (epoch > 0 && cfg.decay_every > 0 && epoch % cfg.decay_every == 0) {
+      opt.set_lr(opt.lr() * cfg.lr_decay);
+    }
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    usize batches = 0;
+    for (usize start = 0; start + cfg.batch_size <= n; start += cfg.batch_size) {
+      std::vector<usize> idx(order.begin() + static_cast<isize>(start),
+                             order.begin() + static_cast<isize>(start + cfg.batch_size));
+      auto [x, y] = data.train.gather(idx);
+      model.zero_grad();
+      LossResult res = model.loss_and_grad(x, y, /*train_mode=*/true);
+      opt.step();
+      epoch_loss += res.loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches == 0 ? 1 : batches);
+    report.epoch_loss.push_back(epoch_loss);
+    if (cfg.verbose) {
+      std::printf("[train %s] epoch %zu/%zu loss=%.4f lr=%.4f\n", model.name().c_str(),
+                  epoch + 1, cfg.epochs, epoch_loss, opt.lr());
+    }
+  }
+  report.train_accuracy = evaluate(model, data.train);
+  report.test_accuracy = evaluate(model, data.test);
+  return report;
+}
+
+double evaluate(Model& model, const Dataset& data, usize batch_size) {
+  const usize n = data.size();
+  usize hits = 0;
+  for (usize start = 0; start < n; start += batch_size) {
+    const usize count = std::min(batch_size, n - start);
+    std::vector<usize> idx(count);
+    std::iota(idx.begin(), idx.end(), start);
+    auto [x, y] = data.gather(idx);
+    Tensor logits = model.forward(x, /*train=*/false);
+    const auto pred = argmax_rows(logits);
+    for (usize i = 0; i < count; ++i) {
+      if (pred[i] == y[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n == 0 ? 1 : n);
+}
+
+double evaluate_loss(Model& model, const Dataset& data, usize batch_size) {
+  const usize n = data.size();
+  double total = 0.0;
+  usize seen = 0;
+  for (usize start = 0; start < n; start += batch_size) {
+    const usize count = std::min(batch_size, n - start);
+    std::vector<usize> idx(count);
+    std::iota(idx.begin(), idx.end(), start);
+    auto [x, y] = data.gather(idx);
+    Tensor logits = model.forward(x, /*train=*/false);
+    total += softmax_cross_entropy_loss(logits, y) * static_cast<double>(count);
+    seen += count;
+  }
+  return total / static_cast<double>(seen == 0 ? 1 : seen);
+}
+
+}  // namespace dnnd::nn

@@ -1,0 +1,35 @@
+// Mini-batch SGD training loop and batched evaluation.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dnnd::nn {
+
+struct TrainConfig {
+  usize epochs = 8;
+  usize batch_size = 32;
+  SgdConfig sgd{};
+  double lr_decay = 0.5;      ///< multiply lr by this ...
+  usize decay_every = 3;      ///< ... every this many epochs
+  u64 shuffle_seed = 7;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_loss;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+/// Trains `model` on `data.train`, reports final train/test accuracy.
+TrainReport train(Model& model, const SplitDataset& data, const TrainConfig& cfg);
+
+/// Batched accuracy over a dataset (bounds activation memory).
+double evaluate(Model& model, const Dataset& data, usize batch_size = 128);
+
+/// Batched mean loss over a dataset.
+double evaluate_loss(Model& model, const Dataset& data, usize batch_size = 128);
+
+}  // namespace dnnd::nn

@@ -1,0 +1,87 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace dnnd::quant {
+
+QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
+  for (auto& p : model_.quantizable_params()) {
+    QuantizedLayer ql;
+    ql.name = p.name;
+    ql.value = p.value;
+    ql.grad = p.grad;
+    const float amax = p.value->abs_max();
+    ql.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    ql.q.resize(p.value->size());
+    for (usize i = 0; i < ql.q.size(); ++i) {
+      const float w = (*p.value)[i];
+      const long r = std::lround(w / ql.scale);
+      ql.q[i] = static_cast<i8>(std::clamp<long>(r, -128, 127));
+    }
+    layers_.push_back(std::move(ql));
+  }
+  materialize();
+}
+
+u64 QuantizedModel::total_weights() const {
+  u64 n = 0;
+  for (const auto& l : layers_) n += l.size();
+  return n;
+}
+
+void QuantizedModel::materialize() {
+  for (auto& l : layers_) {
+    for (usize i = 0; i < l.q.size(); ++i) {
+      (*l.value)[i] = static_cast<float>(l.q[i]) * l.scale;
+    }
+  }
+}
+
+void QuantizedModel::flip(const BitLocation& loc) {
+  QuantizedLayer& l = layers_.at(loc.layer);
+  assert(loc.index < l.size());
+  l.q[loc.index] = flip_bit_value(l.q[loc.index], loc.bit);
+  (*l.value)[loc.index] = static_cast<float>(l.q[loc.index]) * l.scale;
+}
+
+i8 QuantizedModel::get_q(usize layer, usize index) const {
+  return layers_.at(layer).q.at(index);
+}
+
+void QuantizedModel::set_q(usize layer, usize index, i8 code) {
+  QuantizedLayer& l = layers_.at(layer);
+  l.q.at(index) = code;
+  (*l.value)[index] = static_cast<float>(code) * l.scale;
+}
+
+std::vector<std::vector<i8>> QuantizedModel::snapshot() const {
+  std::vector<std::vector<i8>> snap;
+  snap.reserve(layers_.size());
+  for (const auto& l : layers_) snap.push_back(l.q);
+  return snap;
+}
+
+void QuantizedModel::restore(const std::vector<std::vector<i8>>& snap) {
+  assert(snap.size() == layers_.size());
+  for (usize i = 0; i < layers_.size(); ++i) {
+    assert(snap[i].size() == layers_[i].q.size());
+    layers_[i].q = snap[i];
+  }
+  materialize();
+}
+
+u64 QuantizedModel::hamming_distance(const std::vector<std::vector<i8>>& snap) const {
+  assert(snap.size() == layers_.size());
+  u64 dist = 0;
+  for (usize i = 0; i < layers_.size(); ++i) {
+    for (usize j = 0; j < layers_[i].q.size(); ++j) {
+      dist += std::popcount(static_cast<u8>(layers_[i].q[j] ^ snap[i][j]));
+    }
+  }
+  return dist;
+}
+
+}  // namespace dnnd::quant

@@ -1,0 +1,101 @@
+// Symmetric per-layer 8-bit weight quantization with two's-complement bit
+// access -- the representation the BFA threat model attacks.
+//
+// Each quantizable weight tensor W gets scale s = max|W| / 127 and integer
+// codes q = clamp(round(W/s), -128, 127). Inference runs on the dequantized
+// ("materialized") values q*s written back into the float model, the standard
+// fake-quantization scheme BFA evaluations use. Flipping two's-complement bit
+// j of a code changes the weight by +-s*2^j (+-s*128 for the sign bit), which
+// is why MSB flips are the attack's weapon of choice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace dnnd::quant {
+
+/// Two's-complement bit j of code q, as stored in the memory byte.
+inline bool get_bit(i8 q, u32 bit) { return (static_cast<u8>(q) >> bit) & 1; }
+
+/// Code with bit j flipped.
+inline i8 flip_bit_value(i8 q, u32 bit) {
+  return static_cast<i8>(static_cast<u8>(q) ^ static_cast<u8>(1u << bit));
+}
+
+/// Signed contribution of bit j to the code value: -128 for bit 7 (sign),
+/// +2^j otherwise.
+inline i32 bit_weight(u32 bit) { return bit == 7 ? -128 : (1 << bit); }
+
+/// Identifies one bit of one weight: (quantized layer, flat weight index, bit).
+struct BitLocation {
+  usize layer = 0;
+  usize index = 0;
+  u32 bit = 0;
+
+  friend bool operator==(const BitLocation&, const BitLocation&) = default;
+
+  /// Packs into a sortable/hashable key (layer < 2^20, index < 2^41).
+  [[nodiscard]] u64 key() const {
+    return (static_cast<u64>(layer) << 44) | (static_cast<u64>(index) << 3) | bit;
+  }
+  static BitLocation from_key(u64 k) {
+    return {static_cast<usize>(k >> 44), static_cast<usize>((k >> 3) & ((1ULL << 41) - 1)),
+            static_cast<u32>(k & 7)};
+  }
+};
+
+/// One quantized weight tensor.
+struct QuantizedLayer {
+  std::string name;        ///< hierarchical parameter name
+  std::vector<i8> q;       ///< integer codes, same flat order as the float tensor
+  float scale = 1.0f;
+  nn::Tensor* value = nullptr;  ///< float weights used by inference
+  nn::Tensor* grad = nullptr;   ///< gradient buffer of the float weights
+
+  [[nodiscard]] usize size() const { return q.size(); }
+};
+
+/// Quantized view over a Model's weight tensors. Owns the integer codes;
+/// the float model remains the inference engine.
+class QuantizedModel {
+ public:
+  /// Quantizes all quantizable parameters of `model` and materializes the
+  /// dequantized values into the model (so inference == quantized inference).
+  explicit QuantizedModel(nn::Model& model);
+
+  [[nodiscard]] usize num_layers() const { return layers_.size(); }
+  [[nodiscard]] QuantizedLayer& layer(usize i) { return layers_.at(i); }
+  [[nodiscard]] const QuantizedLayer& layer(usize i) const { return layers_.at(i); }
+
+  [[nodiscard]] nn::Model& model() { return model_; }
+
+  /// Total number of weights / weight bits across all quantized layers.
+  [[nodiscard]] u64 total_weights() const;
+  [[nodiscard]] u64 total_bits() const { return total_weights() * 8; }
+
+  /// Rewrites every float weight from its code (full dequantization pass).
+  void materialize();
+
+  /// Flips one bit: updates the code and the corresponding float weight.
+  void flip(const BitLocation& loc);
+
+  /// Reads / writes one code (set_q also updates the float weight).
+  [[nodiscard]] i8 get_q(usize layer, usize index) const;
+  void set_q(usize layer, usize index, i8 code);
+
+  /// Full snapshot of the integer codes (cheap: one byte per weight).
+  [[nodiscard]] std::vector<std::vector<i8>> snapshot() const;
+  /// Restores a snapshot and re-materializes.
+  void restore(const std::vector<std::vector<i8>>& snap);
+
+  /// Hamming distance of current codes to a snapshot (total flipped bits).
+  [[nodiscard]] u64 hamming_distance(const std::vector<std::vector<i8>>& snap) const;
+
+ private:
+  nn::Model& model_;
+  std::vector<QuantizedLayer> layers_;
+};
+
+}  // namespace dnnd::quant

@@ -1,0 +1,49 @@
+#include "sys/energy_model.hpp"
+
+namespace dnnd::sys {
+
+EnergyParams EnergyParams::ddr4() {
+  EnergyParams p;
+  // Derived from DDR4-2400 IDD values for an 8KB row device (order-of-
+  // magnitude constants; the comparisons in the paper depend on ratios,
+  // which these preserve: AAP ~ 2xACT, channel copy ~ 64x AAP).
+  p.act = 1'900'000;         // 1.9 nJ per activate+restore
+  p.pre = 600'000;           // 0.6 nJ
+  p.rd_burst = 150'000;      // 150 pJ per 64B burst (core)
+  p.wr_burst = 165'000;
+  p.ref = 28'000'000;        // 28 nJ per REF
+  p.aap = 3'800'000;         // 3.8 nJ: two back-to-back ACTs, no I/O
+  p.sram_access = 12'000;    // 12 pJ per tracker access
+  p.cam_access = 55'000;     // 55 pJ per associative search
+  p.offchip_transfer = 420'000;  // 420 pJ per 64B over the channel (I/O + term.)
+  p.background_mw = 110.0;
+  return p;
+}
+
+EnergyParams EnergyParams::lpddr4() {
+  EnergyParams p = ddr4();
+  // LPDDR4: lower I/O swing and background power.
+  p.rd_burst = 110'000;
+  p.wr_burst = 120'000;
+  p.offchip_transfer = 210'000;
+  p.background_mw = 55.0;
+  return p;
+}
+
+Femtojoules channel_row_copy_energy(const EnergyParams& p, usize row_bytes) {
+  const usize bursts = (row_bytes + 63) / 64;
+  // Read path: ACT + bursts out over channel; write path: bursts back + restore.
+  Femtojoules e = p.act + p.pre;
+  e += static_cast<Femtojoules>(bursts) * (p.rd_burst + p.offchip_transfer);
+  e += static_cast<Femtojoules>(bursts) * (p.wr_burst + p.offchip_transfer);
+  e += p.act + p.pre;  // destination row open/restore
+  return e;
+}
+
+double average_power_mw(Femtojoules energy, Picoseconds duration) {
+  if (duration <= 0) return 0.0;
+  // fJ / ps = mW exactly: 1e-15 J / 1e-12 s = 1e-3 W.
+  return static_cast<double>(energy) / static_cast<double>(duration);
+}
+
+}  // namespace dnnd::sys

@@ -1,0 +1,60 @@
+// Analytic DRAM op-energy model. The paper derives its energy/power numbers
+// from Cadence Spectre + CACTI runs that we cannot reproduce offline; instead
+// we seed this model with published per-operation energies (RowClone MICRO'13
+// for in-DRAM copy vs. channel copy; DDR4 datasheet-derived ACT/RD/WR/REF
+// energies) and do the same arithmetic the paper describes. All values are
+// per-operation femtojoules so accounting stays integral.
+#pragma once
+
+#include <string>
+
+#include "sys/types.hpp"
+
+namespace dnnd::sys {
+
+/// Per-operation energy constants for one DRAM device generation.
+struct EnergyParams {
+  Femtojoules act = 0;        ///< one ACT (full row sense) incl. restore
+  Femtojoules pre = 0;        ///< one PRE
+  Femtojoules rd_burst = 0;   ///< one 64B read burst (on-die + I/O)
+  Femtojoules wr_burst = 0;   ///< one 64B write burst
+  Femtojoules ref = 0;        ///< one REF command (per-bank granularity)
+  Femtojoules aap = 0;        ///< one RowClone ACT-ACT pair (intra-subarray copy)
+  Femtojoules sram_access = 0;    ///< one SRAM tracker lookup/update (RRS/SRS/Graphene)
+  Femtojoules cam_access = 0;     ///< one CAM search (Graphene/TWiCE)
+  Femtojoules offchip_transfer = 0;  ///< per-64B transfer over the channel
+  double background_mw = 0.0;  ///< standby+refresh background power, milliwatts
+
+  /// DDR4-2400 x8 derived constants.
+  static EnergyParams ddr4();
+  /// LPDDR4 derived constants (lower I/O energy, lower background power).
+  static EnergyParams lpddr4();
+};
+
+/// Energy cost of copying one full row (row_bytes) across the memory channel
+/// (read out + write back), i.e. what an aggressor-focused controller-level
+/// swap like RRS/SRS pays per row. RowClone FPM replaces this with one AAP.
+Femtojoules channel_row_copy_energy(const EnergyParams& p, usize row_bytes);
+
+/// Simple latency constants mirrored from the paper's analysis section.
+struct LatencyParams {
+  Picoseconds t_act = 45'000;       ///< one ACT-PRE cycle (tRC), 45 ns
+  Picoseconds t_aap = 90'000;       ///< one RowClone ACT-ACT pair, 90 ns (paper Sec 5.1)
+  Picoseconds t_ref_window = 64'000'000'000;  ///< refresh interval Tref, 64 ms
+  Picoseconds t_rcd = 15'000;       ///< ACT to column command
+  Picoseconds t_rp = 15'000;        ///< PRE latency
+  Picoseconds t_cl = 13'750;        ///< read CAS latency
+  Picoseconds t_bl = 3'333;         ///< burst transfer time
+  Picoseconds t_rfc = 350'000;      ///< refresh cycle time per REF
+  Picoseconds sram_lookup = 2'000;  ///< SRAM tracker lookup, 2 ns
+  Picoseconds offchip_hop = 20'000; ///< controller<->DIMM round-trip add-on
+
+  /// Swap cost of DNN-Defender's protection-critical path (steps 1-3 of the
+  /// four-step swap; step 4 pipelines with the next swap): 3 x tAAP = 270 ns.
+  [[nodiscard]] Picoseconds t_swap() const { return 3 * t_aap; }
+};
+
+/// Returns average power in milliwatts given energy spent over a duration.
+double average_power_mw(Femtojoules energy, Picoseconds duration);
+
+}  // namespace dnnd::sys

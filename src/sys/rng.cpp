@@ -1,0 +1,131 @@
+#include "sys/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dnnd::sys {
+namespace {
+
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng Rng::split(std::string_view tag) {
+  u64 child_seed = hash_combine(next_u64(), stable_hash64(tag));
+  return Rng(child_seed);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform(u64 bound) {
+  assert(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const u64 threshold = (0ULL - bound) % bound;
+  for (;;) {
+    u64 r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+i64 Rng::uniform_range(i64 lo, i64 hi) {
+  assert(lo <= hi);
+  u64 span = static_cast<u64>(hi - lo) + 1;
+  return lo + static_cast<i64>(uniform(span));
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 1e-300);
+  double u2 = uniform01();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  double z1 = mag * std::sin(2.0 * M_PI * u2);
+  cached_normal_ = z1;
+  has_cached_normal_ = true;
+  return z0;
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<usize> Rng::sample_indices(usize n, usize k) {
+  assert(k <= n);
+  // Floyd's algorithm would avoid the O(n) init but k is usually ~n/constant
+  // in our uses; partial Fisher-Yates is simple and exact.
+  std::vector<usize> pool(n);
+  for (usize i = 0; i < n; ++i) pool[i] = i;
+  for (usize i = 0; i < k; ++i) {
+    usize j = i + static_cast<usize>(uniform(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+u64 stable_hash64(std::string_view s) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+u64 mix64(u64 z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+u64 hash_combine(u64 a, u64 b) { return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2))); }
+u64 hash_combine(u64 a, u64 b, u64 c) { return hash_combine(hash_combine(a, b), c); }
+u64 hash_combine(u64 a, u64 b, u64 c, u64 d) { return hash_combine(hash_combine(a, b, c), d); }
+
+double hash_to_unit(u64 h) { return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0); }
+
+}  // namespace dnnd::sys

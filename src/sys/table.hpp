@@ -1,0 +1,38 @@
+// Minimal ASCII table renderer used by the benchmark harness to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnnd::sys {
+
+/// Column-aligned ASCII table. Rows may be added as pre-formatted strings or
+/// as doubles with per-call precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (reporting helper).
+std::string fmt(double v, int precision = 2);
+
+/// Formats a large count with thousands separators (e.g. 1,150).
+std::string fmt_count(long long v);
+
+}  // namespace dnnd::sys

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/weight_mapping.hpp"
+#include "models/model_zoo.hpp"
+
+namespace dnnd::mapping {
+namespace {
+
+using dram::DramConfig;
+using dram::DramDevice;
+using dram::RowAddr;
+using dram::RowRemapper;
+
+class MappingFixture : public ::testing::Test {
+ protected:
+  MappingFixture()
+      : model_(models::make_test_mlp(64, 24, 4, 7)),
+        qm_(*model_),
+        cfg_(DramConfig::nn_scaled()),
+        mapping_(qm_, cfg_) {}
+
+  std::unique_ptr<nn::Model> model_;
+  quant::QuantizedModel qm_;
+  DramConfig cfg_;
+  WeightMapping mapping_;
+};
+
+TEST_F(MappingFixture, EveryWeightHasAPlacement) {
+  for (usize l = 0; l < qm_.num_layers(); ++l) {
+    for (usize i = 0; i < qm_.layer(l).size(); ++i) {
+      const Placement p = mapping_.locate(l, i);
+      EXPECT_LT(p.col, cfg_.geo.row_bytes);
+      EXPECT_LT(p.row.bank, cfg_.geo.banks);
+    }
+  }
+}
+
+TEST_F(MappingFixture, LocateWeightAtAreInverse) {
+  for (usize l = 0; l < qm_.num_layers(); ++l) {
+    for (usize i = 0; i < qm_.layer(l).size(); i += 3) {
+      const Placement p = mapping_.locate(l, i);
+      const auto w = mapping_.weight_at(p.row, p.col);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_EQ(w->layer, l);
+      EXPECT_EQ(w->index, i);
+    }
+  }
+}
+
+TEST_F(MappingFixture, PaddingBytesMapToNothing) {
+  // The final row is partially filled; bytes past the count are padding.
+  const auto& rows = mapping_.weight_rows();
+  const RowAddr last = rows.back();
+  const usize count = mapping_.weights_in_row(last);
+  if (count < cfg_.geo.row_bytes) {
+    EXPECT_FALSE(mapping_.weight_at(last, count).has_value());
+  }
+  // A row that holds no weights at all maps to nothing.
+  EXPECT_FALSE(mapping_.weight_at(RowAddr{0, 0, 0}, 0).has_value());
+}
+
+TEST_F(MappingFixture, RowWeightCountsSumToTotal) {
+  usize total = 0;
+  for (const auto& row : mapping_.weight_rows()) total += mapping_.weights_in_row(row);
+  EXPECT_EQ(total, qm_.total_weights());
+}
+
+TEST_F(MappingFixture, RowsSpreadAcrossBanks) {
+  std::set<u32> banks;
+  for (const auto& row : mapping_.weight_rows()) banks.insert(row.bank);
+  // ~29 rows over 8 banks: every bank should be hit.
+  EXPECT_GE(banks.size(), 4u);
+}
+
+TEST_F(MappingFixture, ReservedRegionAvoided) {
+  const u32 reserved_base =
+      cfg_.geo.rows_per_subarray - mapping_.config().reserved_rows_per_subarray;
+  for (const auto& row : mapping_.weight_rows()) {
+    EXPECT_LT(row.row, reserved_base);
+  }
+}
+
+TEST_F(MappingFixture, AggressorGapsBetweenWeightRows) {
+  // With leave_aggressor_gaps, no two weight rows are physically adjacent.
+  std::set<u64> ids;
+  for (const auto& row : mapping_.weight_rows()) ids.insert(flat_row_id(cfg_.geo, row));
+  for (const auto& row : mapping_.weight_rows()) {
+    if (row.row + 1 < cfg_.geo.rows_per_subarray) {
+      RowAddr next = row;
+      next.row += 1;
+      EXPECT_EQ(ids.count(flat_row_id(cfg_.geo, next)), 0u);
+    }
+  }
+}
+
+TEST_F(MappingFixture, UploadDownloadRoundtrip) {
+  DramDevice dev(cfg_);
+  RowRemapper remap(cfg_.geo);
+  mapping_.upload(qm_, dev, remap);
+  const auto snap = qm_.snapshot();
+  // Corrupt the in-memory model, then download: DRAM restores it.
+  qm_.set_q(0, 0, static_cast<i8>(qm_.get_q(0, 0) + 1));
+  mapping_.download(qm_, dev, remap);
+  EXPECT_EQ(qm_.hamming_distance(snap), 0u);
+}
+
+TEST_F(MappingFixture, DownloadReflectsDeviceFlips) {
+  DramDevice dev(cfg_);
+  RowRemapper remap(cfg_.geo);
+  mapping_.upload(qm_, dev, remap);
+  const auto snap = qm_.snapshot();
+  const Placement p = mapping_.locate(1, 5);
+  dev.force_flip_bit(p.row, p.col, 7);
+  mapping_.download(qm_, dev, remap);
+  EXPECT_EQ(qm_.hamming_distance(snap), 1u);
+  EXPECT_EQ(qm_.get_q(1, 5), quant::flip_bit_value(snap[1][5], 7));
+}
+
+TEST_F(MappingFixture, RemappedRoundtripFollowsIndirection) {
+  DramDevice dev(cfg_);
+  RowRemapper remap(cfg_.geo);
+  // Swap a weight row with a free row before uploading.
+  const RowAddr wrow = mapping_.weight_rows()[0];
+  const RowAddr free{wrow.bank, wrow.subarray, 0};
+  remap.swap_logical(wrow, remap.to_logical(free));
+  mapping_.upload(qm_, dev, remap);
+  // Data physically lives at the remapped location.
+  const auto w = mapping_.weight_at(wrow, 0);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(static_cast<i8>(dev.peek(free, 0)), qm_.get_q(w->layer, w->index));
+  // Download follows the same indirection.
+  const auto snap = qm_.snapshot();
+  mapping_.download(qm_, dev, remap);
+  EXPECT_EQ(qm_.hamming_distance(snap), 0u);
+}
+
+TEST_F(MappingFixture, PlacementDeterministicPerSeed) {
+  WeightMapping again(qm_, cfg_);
+  ASSERT_EQ(again.weight_rows().size(), mapping_.weight_rows().size());
+  for (usize i = 0; i < again.weight_rows().size(); ++i) {
+    EXPECT_EQ(again.weight_rows()[i], mapping_.weight_rows()[i]);
+  }
+}
+
+TEST_F(MappingFixture, PlacementSeedShufflesLayout) {
+  MappingConfig mcfg;
+  mcfg.placement_seed = 0xDEADBEEF;
+  WeightMapping other(qm_, cfg_, mcfg);
+  bool any_diff = other.weight_rows().size() != mapping_.weight_rows().size();
+  for (usize i = 0; !any_diff && i < other.weight_rows().size(); ++i) {
+    any_diff = !(other.weight_rows()[i] == mapping_.weight_rows()[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MappingErrors, DeviceTooSmallThrows) {
+  auto model = models::make_resnet34_sub(10, 1);
+  quant::QuantizedModel qm(*model);
+  dram::DramConfig tiny = DramConfig::sim_small();
+  tiny.geo = dram::Geometry{1, 1, 16, 64};  // 1 KB device
+  EXPECT_THROW(WeightMapping(qm, tiny), std::invalid_argument);
+}
+
+TEST(MappingErrors, ReservedRegionTooLargeThrows) {
+  auto model = models::make_test_mlp(8, 4, 2, 1);
+  quant::QuantizedModel qm(*model);
+  dram::DramConfig cfg = DramConfig::sim_small();
+  MappingConfig mcfg;
+  mcfg.reserved_rows_per_subarray = cfg.geo.rows_per_subarray;
+  EXPECT_THROW(WeightMapping(qm, cfg, mcfg), std::invalid_argument);
+}
+
+TEST(MappingLarge, BigModelFitsDefaultGeometry) {
+  auto model = models::make_resnet34_sub(25, 1);
+  quant::QuantizedModel qm(*model);
+  const dram::DramConfig cfg = DramConfig::nn_scaled();
+  WeightMapping mapping(qm, cfg);
+  EXPECT_EQ(mapping.weight_rows().size(),
+            (qm.total_weights() + cfg.geo.row_bytes - 1) / cfg.geo.row_bytes);
+  // Spread wide: at least half the subarrays host a row.
+  std::set<std::pair<u32, u32>> subarrays;
+  for (const auto& r : mapping.weight_rows()) subarrays.insert({r.bank, r.subarray});
+  EXPECT_GE(subarrays.size(), 16u);
+}
+
+}  // namespace
+}  // namespace dnnd::mapping

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/model_zoo.hpp"
+
+namespace dnnd::models {
+namespace {
+
+nn::Tensor input_batch(usize n = 2) { return nn::Tensor({n, 3, 12, 12}); }
+
+struct ZooCase {
+  const char* name;
+  usize expected_quantizable_layers;  ///< conv + dense weight tensors
+};
+
+class ZooShapes : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooShapes, ForwardProducesLogits) {
+  const auto c = GetParam();
+  auto m = make_by_name(c.name, 10, /*seed=*/1);
+  auto x = input_batch();
+  auto y = m->forward(x, /*train=*/true);
+  EXPECT_EQ(y.shape(), (std::vector<usize>{2, 10}));
+  // Eval mode works after at least one train-mode pass (BN running stats).
+  auto y2 = m->forward(x, /*train=*/false);
+  EXPECT_EQ(y2.shape(), (std::vector<usize>{2, 10}));
+}
+
+TEST_P(ZooShapes, QuantizableLayerCount) {
+  const auto c = GetParam();
+  auto m = make_by_name(c.name, 10, 1);
+  EXPECT_EQ(m->quantizable_params().size(), c.expected_quantizable_layers) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooShapes,
+    ::testing::Values(
+        // vgg11_sub: 3 conv + 2 dense
+        ZooCase{"vgg11", 5},
+        // resnet18_sub: stem + 8 blocks x 2 convs + 3 projections + fc
+        ZooCase{"resnet18", 1 + 16 + 3 + 1},
+        // resnet20_sub: stem + 9 blocks x 2 convs + 2 projections + fc
+        ZooCase{"resnet20", 1 + 18 + 2 + 1},
+        // resnet34_sub: stem + 16 blocks x 2 convs + 3 projections + fc
+        ZooCase{"resnet34", 1 + 32 + 3 + 1}));
+
+TEST(Zoo, DepthOrdering) {
+  // Parameter counts must reflect the family ordering used in Fig. 9:
+  // resnet34_sub > resnet18_sub, and every model is non-trivial.
+  auto v = make_vgg11_sub(10, 1);
+  auto r18 = make_resnet18_sub(10, 1);
+  auto r34 = make_resnet34_sub(10, 1);
+  EXPECT_GT(r34->weight_count(), r18->weight_count());
+  EXPECT_GT(v->weight_count(), 1000u);
+  EXPECT_GT(r18->weight_count(), 1000u);
+}
+
+TEST(Zoo, WidthMultiplierScalesParamsQuadratically) {
+  auto base = make_resnet20_sub(10, 1, 1);
+  auto wide = make_resnet20_sub(10, 1, 2);
+  const double ratio = static_cast<double>(wide->weight_count()) /
+                       static_cast<double>(base->weight_count());
+  // Conv params scale ~x4 with doubled width (in_ch x out_ch).
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(Zoo, DeterministicInitialization) {
+  auto a = make_resnet18_sub(10, 77);
+  auto b = make_resnet18_sub(10, 77);
+  const auto pa = a->quantizable_params();
+  const auto pb = b->quantizable_params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (usize l = 0; l < pa.size(); ++l) {
+    for (usize i = 0; i < pa[l].value->size(); i += 17) {
+      EXPECT_EQ((*pa[l].value)[i], (*pb[l].value)[i]);
+    }
+  }
+}
+
+TEST(Zoo, SeedsChangeInitialization) {
+  auto a = make_vgg11_sub(10, 1);
+  auto b = make_vgg11_sub(10, 2);
+  const auto pa = a->quantizable_params();
+  const auto pb = b->quantizable_params();
+  bool any_diff = false;
+  for (usize i = 0; i < pa[0].value->size(); ++i) {
+    if ((*pa[0].value)[i] != (*pb[0].value)[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Zoo, ClassCountControlsHead) {
+  auto m = make_resnet20_sub(25, 1);
+  auto x = input_batch();
+  EXPECT_EQ(m->forward(x, true).dim(1), 25u);
+}
+
+TEST(Zoo, UnknownNameThrows) {
+  EXPECT_THROW(make_by_name("alexnet", 10, 1), std::invalid_argument);
+}
+
+TEST(Zoo, TestMlpShape) {
+  auto m = make_test_mlp(64, 16, 4, 1);
+  nn::Tensor x({3, 1, 8, 8});
+  EXPECT_EQ(m->forward(x, false).shape(), (std::vector<usize>{3, 4}));
+  EXPECT_EQ(m->quantizable_params().size(), 2u);
+}
+
+TEST(Zoo, BackwardRunsThroughAllArchitectures) {
+  for (const char* name : {"vgg11", "resnet18", "resnet20", "resnet34"}) {
+    auto m = make_by_name(name, 4, 3);
+    sys::Rng rng(9);
+    nn::Tensor x({2, 3, 12, 12});
+    for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal());
+    m->zero_grad();
+    const auto res = m->loss_and_grad(x, {0, 1}, /*train_mode=*/true);
+    EXPECT_GT(res.loss, 0.0) << name;
+    double gsum = 0.0;
+    for (auto& p : m->quantizable_params()) gsum += p.grad->l2_norm();
+    EXPECT_GT(gsum, 0.0) << name << ": no gradient reached the weights";
+  }
+}
+
+}  // namespace
+}  // namespace dnnd::models

@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnnd::nn {
+namespace {
+
+// ---------------------------------------------------------------- Tensor ----
+
+TEST(Tensor, ShapeAndSize) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.dim(2), 4u);
+  for (usize i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At4RowMajorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (usize i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  for (usize i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4});
+  t[0] = -3.0f;
+  t[1] = 1.0f;
+  t[2] = 2.0f;
+  t[3] = 0.5f;
+  EXPECT_FLOAT_EQ(t.min(), -3.0f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 0.5);
+}
+
+TEST(Tensor, HeNormalVariance) {
+  sys::Rng rng(3);
+  Tensor t = Tensor::he_normal({10000}, 50, rng);
+  double var = 0.0;
+  for (usize i = 0; i < t.size(); ++i) var += static_cast<double>(t[i]) * t[i];
+  var /= static_cast<double>(t.size());
+  EXPECT_NEAR(var, 2.0 / 50.0, 0.01);
+}
+
+// -------------------------------------------------- finite-difference util --
+
+/// Checks layer gradients against central finite differences using the probe
+/// loss L = sum(c .* y) for a fixed random projection c.
+void check_gradients(Layer& layer, const std::vector<usize>& in_shape, u64 seed,
+                     double tol = 2e-2) {
+  sys::Rng rng(seed);
+  Tensor x(in_shape);
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  Tensor y = layer.forward(x, /*train=*/true);
+  Tensor c(y.shape());
+  for (usize i = 0; i < c.size(); ++i) c[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  for (auto& p : layer.params()) p.grad->zero();
+  Tensor dx = layer.backward(c);
+
+  auto probe_loss = [&](Layer& l) {
+    Tensor out = l.forward(x, /*train=*/true);
+    double loss = 0.0;
+    for (usize i = 0; i < out.size(); ++i) loss += static_cast<double>(c[i]) * out[i];
+    return loss;
+  };
+
+  constexpr double kEps = 1e-3;
+  // Input gradient, spot-checked on a stride (full check is O(n^2) forwards).
+  const usize stride_x = std::max<usize>(1, x.size() / 24);
+  for (usize i = 0; i < x.size(); i += stride_x) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(kEps);
+    const double lp = probe_loss(layer);
+    x[i] = saved - static_cast<float>(kEps);
+    const double lm = probe_loss(layer);
+    x[i] = saved;
+    const double numeric = (lp - lm) / (2 * kEps);
+    EXPECT_NEAR(dx[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input grad mismatch at " << i;
+  }
+  // Parameter gradients (forward uses train=true so BN uses batch stats and
+  // the analytic path matches the numeric probe).
+  layer.forward(x, true);
+  for (auto& p : layer.params()) p.grad->zero();
+  layer.backward(c);
+  for (auto& p : layer.params()) {
+    const usize stride_w = std::max<usize>(1, p.value->size() / 16);
+    for (usize i = 0; i < p.value->size(); i += stride_w) {
+      const float saved = (*p.value)[i];
+      (*p.value)[i] = saved + static_cast<float>(kEps);
+      const double lp = probe_loss(layer);
+      (*p.value)[i] = saved - static_cast<float>(kEps);
+      const double lm = probe_loss(layer);
+      (*p.value)[i] = saved;
+      const double numeric = (lp - lm) / (2 * kEps);
+      EXPECT_NEAR((*p.grad)[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+          << "param " << p.name << " grad mismatch at " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- layers ----
+
+TEST(Dense, ForwardKnownValues) {
+  sys::Rng rng(1);
+  Dense d(2, 2, rng);
+  d.weight[0] = 1.0f;  // W = [[1,2],[3,4]]
+  d.weight[1] = 2.0f;
+  d.weight[2] = 3.0f;
+  d.weight[3] = 4.0f;
+  d.bias[0] = 0.5f;
+  d.bias[1] = -0.5f;
+  Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = -1.0f;
+  Tensor y = d.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f - 2.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f - 4.0f - 0.5f);
+}
+
+TEST(Dense, GradientCheck) {
+  sys::Rng rng(2);
+  Dense d(5, 4, rng);
+  check_gradients(d, {3, 5}, 20);
+}
+
+TEST(Conv2d, OutputShape) {
+  sys::Rng rng(3);
+  Conv2d c(3, 8, 3, 1, 1, rng);
+  Tensor x({2, 3, 12, 12});
+  Tensor y = c.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<usize>{2, 8, 12, 12}));
+  Conv2d s(3, 4, 3, 2, 1, rng);
+  EXPECT_EQ(s.forward(x, false).shape(), (std::vector<usize>{2, 4, 6, 6}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  sys::Rng rng(4);
+  Conv2d c(1, 1, 3, 1, 1, rng);
+  c.weight.zero();
+  c.weight.at4(0, 0, 1, 1) = 1.0f;  // center tap
+  c.bias.zero();
+  Tensor x({1, 1, 4, 4});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  Tensor y = c.forward(x, false);
+  for (usize i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, GradientCheck) {
+  sys::Rng rng(5);
+  Conv2d c(2, 3, 3, 1, 1, rng);
+  check_gradients(c, {2, 2, 5, 5}, 21);
+}
+
+TEST(Conv2d, GradientCheckStride2) {
+  sys::Rng rng(6);
+  Conv2d c(2, 2, 3, 2, 1, rng);
+  check_gradients(c, {1, 2, 6, 6}, 22);
+}
+
+TEST(ReLU, ForwardBackwardMasks) {
+  ReLU r;
+  Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 2.0f;
+  x[2] = 0.0f;
+  x[3] = 3.0f;
+  Tensor y = r.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  Tensor dy = Tensor::full({4}, 1.0f);
+  Tensor dx = r.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 1.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 1.0f);
+}
+
+TEST(MaxPool, ForwardPicksMaxAndRoutesGradient) {
+  MaxPool2d p;
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 5.0f;
+  x[2] = 3.0f;
+  x[3] = 2.0f;
+  Tensor y = p.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor dy = Tensor::full({1, 1, 1, 1}, 2.0f);
+  Tensor dx = p.backward(dy);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(GlobalAvgPool, ForwardAndGradient) {
+  GlobalAvgPool g;
+  Tensor x({1, 2, 2, 2});
+  for (usize i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = g.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 5.5f);
+  Tensor dy({1, 2});
+  dy[0] = 4.0f;
+  dy[1] = 8.0f;
+  Tensor dx = g.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[7], 2.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Tensor x({2, 3, 2, 2});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  Tensor y = f.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<usize>{2, 12}));
+  Tensor dx = f.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+  for (usize i = 0; i < x.size(); ++i) EXPECT_EQ(dx[i], x[i]);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  BatchNorm2d bn(2);
+  sys::Rng rng(7);
+  Tensor x({8, 2, 3, 3});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal(3.0, 2.0));
+  Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0, var ~1.
+  const usize hw = 9;
+  for (usize c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (usize n = 0; n < 8; ++n) {
+      for (usize i = 0; i < hw; ++i) mean += y.data()[(n * 2 + c) * hw + i];
+    }
+    mean /= 72.0;
+    for (usize n = 0; n < 8; ++n) {
+      for (usize i = 0; i < hw; ++i) {
+        const double d = y.data()[(n * 2 + c) * hw + i] - mean;
+        var += d * d;
+      }
+    }
+    var /= 72.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Tensor x({4, 1, 2, 2});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  for (int rep = 0; rep < 50; ++rep) bn.forward(x, true);  // converge running stats
+  Tensor y_eval = bn.forward(x, false);
+  Tensor y_train = bn.forward(x, true);
+  for (usize i = 0; i < y_eval.size(); ++i) EXPECT_NEAR(y_eval[i], y_train[i], 0.05);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm2d bn(3);
+  check_gradients(bn, {4, 3, 2, 2}, 23, 5e-2);
+}
+
+TEST(Residual, IdentityBlockShapes) {
+  sys::Rng rng(8);
+  ResidualBlock block(4, 4, 1, rng);
+  Tensor x({2, 4, 6, 6});
+  EXPECT_EQ(block.forward(x, true).shape(), x.shape());
+}
+
+TEST(Residual, ProjectionBlockDownsamples) {
+  sys::Rng rng(9);
+  ResidualBlock block(4, 8, 2, rng);
+  Tensor x({2, 4, 6, 6});
+  EXPECT_EQ(block.forward(x, true).shape(), (std::vector<usize>{2, 8, 3, 3}));
+}
+
+TEST(Residual, GradientCheckIdentity) {
+  sys::Rng rng(10);
+  ResidualBlock block(2, 2, 1, rng);
+  check_gradients(block, {2, 2, 4, 4}, 24, 5e-2);
+}
+
+TEST(Residual, GradientCheckProjection) {
+  sys::Rng rng(11);
+  ResidualBlock block(2, 4, 2, rng);
+  check_gradients(block, {2, 2, 4, 4}, 25, 5e-2);
+}
+
+// ------------------------------------------------------------------ loss ----
+
+TEST(Loss, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});
+  const auto res = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-9);
+}
+
+TEST(Loss, GradientRowsSumToZero) {
+  sys::Rng rng(12);
+  Tensor logits({3, 5});
+  for (usize i = 0; i < logits.size(); ++i) logits[i] = static_cast<float>(rng.normal());
+  const auto res = softmax_cross_entropy(logits, {1, 4, 2});
+  for (usize n = 0; n < 3; ++n) {
+    double row = 0.0;
+    for (usize c = 0; c < 5; ++c) row += res.dlogits.at2(n, c);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesFiniteDifference) {
+  sys::Rng rng(13);
+  Tensor logits({2, 3});
+  for (usize i = 0; i < logits.size(); ++i) logits[i] = static_cast<float>(rng.normal());
+  const std::vector<u32> labels{2, 0};
+  const auto res = softmax_cross_entropy(logits, labels);
+  constexpr double kEps = 1e-4;
+  for (usize i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(kEps);
+    const double lp = softmax_cross_entropy_loss(logits, labels);
+    logits[i] = saved - static_cast<float>(kEps);
+    const double lm = softmax_cross_entropy_loss(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(res.dlogits[i], (lp - lm) / (2 * kEps), 1e-4);
+  }
+}
+
+TEST(Loss, ArgmaxRows) {
+  Tensor logits({2, 3});
+  logits.at2(0, 1) = 5.0f;
+  logits.at2(1, 2) = 3.0f;
+  const auto pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 1u);
+  EXPECT_EQ(pred[1], 2u);
+}
+
+// --------------------------------------------------------------- dataset ----
+
+TEST(Dataset, DeterministicGeneration) {
+  const auto a = make_synthetic(SynthSpec::cifar10_like());
+  const auto b = make_synthetic(SynthSpec::cifar10_like());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (usize i = 0; i < a.train.images.size(); i += 97) {
+    EXPECT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Dataset, HeadIsClassBalanced) {
+  const auto data = make_synthetic(SynthSpec::cifar10_like());
+  auto [x, y] = data.test.head(20);
+  std::vector<int> counts(10, 0);
+  for (u32 label : y) counts[label]++;
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(Dataset, GatherCopiesRightSamples) {
+  const auto data = make_synthetic(SynthSpec::cifar10_like());
+  auto [x, y] = data.train.gather({5, 10});
+  EXPECT_EQ(x.dim(0), 2u);
+  EXPECT_EQ(y[0], data.train.labels[5]);
+  EXPECT_EQ(y[1], data.train.labels[10]);
+  const usize chw = x.size() / 2;
+  for (usize i = 0; i < chw; i += 13) {
+    EXPECT_EQ(x[i], data.train.images[5 * chw + i]);
+  }
+}
+
+TEST(Dataset, SpecsShapeTheSet) {
+  SynthSpec spec;
+  spec.num_classes = 3;
+  spec.train_per_class = 5;
+  spec.test_per_class = 2;
+  spec.channels = 1;
+  spec.height = 6;
+  spec.width = 6;
+  const auto data = make_synthetic(spec);
+  EXPECT_EQ(data.train.size(), 15u);
+  EXPECT_EQ(data.test.size(), 6u);
+  EXPECT_EQ(data.train.images.shape(), (std::vector<usize>{15, 1, 6, 6}));
+}
+
+// --------------------------------------------------- model/optim/trainer ----
+
+TEST(Model, ParamEnumerationAndZeroGrad) {
+  sys::Rng rng(14);
+  Model m("t");
+  m.add(std::make_unique<Dense>(4, 3, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(3, 2, rng));
+  const auto params = m.params();
+  ASSERT_EQ(params.size(), 4u);  // 2x (weight, bias)
+  EXPECT_TRUE(params[0].quantizable);
+  EXPECT_FALSE(params[1].quantizable);
+  EXPECT_EQ(m.weight_count(), 4u * 3u + 3u * 2u);
+  // Gradients accumulate, zero_grad clears. Mixed-sign inputs keep the
+  // hidden ReLU units alive for any init seed.
+  Tensor x({2, 4});
+  for (usize i = 0; i < x.size(); ++i) {
+    x[i] = (i % 2 == 0 ? 1.0f : -1.0f) * (0.5f + 0.25f * static_cast<float>(i));
+  }
+  m.loss_and_grad(x, {0, 1});
+  double gsum = 0.0;
+  for (auto& p : m.params()) gsum += p.grad->l2_norm();
+  EXPECT_GT(gsum, 0.0);
+  m.zero_grad();
+  for (auto& p : m.params()) EXPECT_DOUBLE_EQ(p.grad->sum(), 0.0);
+}
+
+TEST(Optimizer, ReducesLossOnToyProblem) {
+  sys::Rng rng(15);
+  Model m("toy");
+  m.add(std::make_unique<Dense>(2, 8, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(8, 2, rng));
+  // XOR-ish separable data.
+  Tensor x({4, 2});
+  x.at2(0, 0) = 1.0f;
+  x.at2(1, 1) = 1.0f;
+  x.at2(2, 0) = -1.0f;
+  x.at2(3, 1) = -1.0f;
+  const std::vector<u32> y{0, 1, 0, 1};
+  SgdConfig cfg;
+  cfg.lr = 0.1;
+  SgdOptimizer opt(m, cfg);
+  const double initial = m.loss(x, y);
+  for (int i = 0; i < 100; ++i) {
+    m.zero_grad();
+    m.loss_and_grad(x, y);
+    opt.step();
+  }
+  EXPECT_LT(m.loss(x, y), initial * 0.2);
+  EXPECT_DOUBLE_EQ(m.accuracy(x, y), 1.0);
+}
+
+TEST(Model, SaveLoadStateRoundTripsBatchNorm) {
+  sys::Rng rng(21);
+  Model m("bn");
+  m.add(std::make_unique<Conv2d>(1, 2, 3, 1, 1, rng));
+  m.add(std::make_unique<BatchNorm2d>(2));
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Dense>(2, 2, rng));
+  Tensor x({4, 1, 4, 4});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i % 7) - 3.0f;
+  m.forward(x, /*train=*/true);  // moves the running statistics
+  const auto snap = m.save_state();
+  const Tensor before = m.forward(x, /*train=*/false);
+  for (int i = 0; i < 5; ++i) m.forward(x, /*train=*/true);  // drift stats further
+  (*m.params()[0].value)[0] += 1.0f;                          // and damage a weight
+  m.load_state(snap);
+  const Tensor after = m.forward(x, /*train=*/false);
+  for (usize i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(after[i], before[i]) << "state restore must reproduce inference";
+  }
+}
+
+TEST(Trainer, LearnsEasySyntheticTask) {
+  SynthSpec spec;
+  spec.num_classes = 4;
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.noise = 0.8;
+  spec.seed = 555;
+  const auto data = make_synthetic(spec);
+  sys::Rng rng(16);
+  Model m("mlp");
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Dense>(64, 24, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dense>(24, 4, rng));
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const auto report = train(m, data, cfg);
+  EXPECT_GT(report.test_accuracy, 0.85);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_NEAR(evaluate(m, data.test), report.test_accuracy, 1e-9);
+}
+
+}  // namespace
+}  // namespace dnnd::nn

@@ -1,0 +1,314 @@
+// Cross-module property tests: randomized sweeps checking invariants that
+// must hold for ANY seed/configuration, complementing the per-module example
+// tests. Each property runs over a parameterized set of seeds.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/swap_engine.hpp"
+#include "mapping/weight_mapping.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/loss.hpp"
+#include "quant/quantizer.hpp"
+#include "rowhammer/attacker.hpp"
+
+namespace dnnd {
+namespace {
+
+using dram::DramConfig;
+using dram::DramDevice;
+using dram::RowAddr;
+using dram::RowRemapper;
+
+class Seeded : public ::testing::TestWithParam<u64> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded, ::testing::Values(1, 7, 42, 1234, 99991));
+
+// ---------------------------------------------------------------- DRAM -----
+
+TEST_P(Seeded, DeviceMatchesReferenceShadowArray) {
+  // Random command fuzz: the device's cell contents must always equal a
+  // plain byte-array reference model.
+  const DramConfig cfg = DramConfig::sim_small();
+  DramDevice dev(cfg);
+  sys::Rng rng(GetParam());
+  const usize total = static_cast<usize>(cfg.geo.total_bytes());
+  std::vector<u8> reference(total, 0);
+  auto flat = [&](const RowAddr& r) {
+    return static_cast<usize>(flat_row_id(cfg.geo, r)) * cfg.geo.row_bytes;
+  };
+  auto random_row = [&]() {
+    return RowAddr{static_cast<u32>(rng.uniform(cfg.geo.banks)),
+                   static_cast<u32>(rng.uniform(cfg.geo.subarrays_per_bank)),
+                   static_cast<u32>(rng.uniform(cfg.geo.rows_per_subarray))};
+  };
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.uniform(5)) {
+      case 0: {  // full-row write
+        const RowAddr r = random_row();
+        std::vector<u8> data(cfg.geo.row_bytes);
+        for (auto& b : data) b = static_cast<u8>(rng.uniform(256));
+        dev.write_row(r, data);
+        std::copy(data.begin(), data.end(), reference.begin() + static_cast<isize>(flat(r)));
+        break;
+      }
+      case 1: {  // RowClone FPM within a random subarray
+        const RowAddr r = random_row();
+        const u32 dst = static_cast<u32>(rng.uniform(cfg.geo.rows_per_subarray));
+        dev.rowclone_fpm(r.bank, r.subarray, r.row, dst);
+        const RowAddr d{r.bank, r.subarray, dst};
+        if (!(d == r)) {
+          std::copy_n(reference.begin() + static_cast<isize>(flat(r)), cfg.geo.row_bytes,
+                      reference.begin() + static_cast<isize>(flat(d)));
+        }
+        break;
+      }
+      case 2: {  // RowClone PSM across banks
+        const RowAddr s = random_row(), d = random_row();
+        dev.rowclone_psm(s, d);
+        std::copy_n(reference.begin() + static_cast<isize>(flat(s)), cfg.geo.row_bytes,
+                    reference.begin() + static_cast<isize>(flat(d)));
+        break;
+      }
+      case 3: {  // forced bit flip
+        const RowAddr r = random_row();
+        const usize col = static_cast<usize>(rng.uniform(cfg.geo.row_bytes));
+        const u32 bit = static_cast<u32>(rng.uniform(8));
+        dev.force_flip_bit(r, col, bit);
+        reference[flat(r) + col] ^= static_cast<u8>(1u << bit);
+        break;
+      }
+      default: {  // activates/reads must never change data
+        const RowAddr r = random_row();
+        dev.activate(r);
+        (void)dev.read_row(r);
+        break;
+      }
+    }
+  }
+  for (u64 id = 0; id < cfg.geo.total_rows(); ++id) {
+    const RowAddr r = unflatten_row_id(cfg.geo, id);
+    const auto row = dev.peek_row(r);
+    for (usize c = 0; c < cfg.geo.row_bytes; ++c) {
+      ASSERT_EQ(row[c], reference[flat(r) + c])
+          << "divergence at row " << id << " col " << c;
+    }
+  }
+}
+
+TEST_P(Seeded, RemapperStaysABijection) {
+  const DramConfig cfg = DramConfig::sim_small();
+  RowRemapper remap(cfg.geo);
+  sys::Rng rng(GetParam());
+  auto random_row = [&]() {
+    return unflatten_row_id(cfg.geo, rng.uniform(cfg.geo.total_rows()));
+  };
+  for (int i = 0; i < 300; ++i) remap.swap_logical(random_row(), random_row());
+  std::set<u64> images;
+  for (u64 id = 0; id < cfg.geo.total_rows(); ++id) {
+    const RowAddr logical = unflatten_row_id(cfg.geo, id);
+    const RowAddr phys = remap.to_physical(logical);
+    ASSERT_TRUE(images.insert(flat_row_id(cfg.geo, phys)).second) << "collision";
+    ASSERT_EQ(remap.to_logical(phys), logical) << "inverse broken";
+  }
+}
+
+TEST_P(Seeded, TimeAndEnergyAreMonotone) {
+  const DramConfig cfg = DramConfig::sim_small();
+  DramDevice dev(cfg);
+  sys::Rng rng(GetParam());
+  Picoseconds t_prev = dev.now();
+  Femtojoules e_prev = dev.stats().energy;
+  for (int i = 0; i < 200; ++i) {
+    const RowAddr r{static_cast<u32>(rng.uniform(cfg.geo.banks)),
+                    static_cast<u32>(rng.uniform(cfg.geo.subarrays_per_bank)),
+                    static_cast<u32>(rng.uniform(cfg.geo.rows_per_subarray))};
+    switch (rng.uniform(3)) {
+      case 0: dev.activate(r); break;
+      case 1: dev.rowclone_fpm(r.bank, r.subarray, r.row, (r.row + 1) % cfg.geo.rows_per_subarray); break;
+      default: dev.refresh_step(); break;
+    }
+    EXPECT_GE(dev.now(), t_prev);
+    EXPECT_GE(dev.stats().energy, e_prev);
+    t_prev = dev.now();
+    e_prev = dev.stats().energy;
+  }
+}
+
+// ----------------------------------------------------------- RowHammer -----
+
+TEST_P(Seeded, NoFlipStrictlyBelowThreshold) {
+  DramConfig cfg = DramConfig::sim_small();
+  cfg.t_rh = 500 + static_cast<u32>(GetParam() % 700);
+  DramDevice dev(cfg);
+  rowhammer::HammerModelConfig hcfg;
+  hcfg.p_vulnerable = 0.3;
+  hcfg.seed = GetParam();
+  rowhammer::HammerModel model(dev, hcfg);
+  rowhammer::HammerAttacker attacker(dev, sys::Rng(GetParam()));
+  std::vector<u8> ones(cfg.geo.row_bytes, 0xFF);
+  dev.write_row({0, 0, 10}, ones);
+  attacker.double_sided({0, 0, 10}, cfg.t_rh - 2);
+  EXPECT_EQ(model.flips_injected(), 0u) << "flip below T_RH=" << cfg.t_rh;
+}
+
+TEST_P(Seeded, SaturationHammeringFlipsEveryChargedVulnerableCell) {
+  DramConfig cfg = DramConfig::sim_small();
+  cfg.t_rh = 400;
+  DramDevice dev(cfg);
+  rowhammer::HammerModelConfig hcfg;
+  hcfg.p_vulnerable = 0.2;
+  hcfg.seed = GetParam() * 31;
+  rowhammer::HammerModel model(dev, hcfg);
+  rowhammer::HammerAttacker attacker(dev, sys::Rng(GetParam()));
+  const RowAddr victim{0, 1, 20};
+  std::vector<u8> ones(cfg.geo.row_bytes, 0xFF);
+  dev.write_row(victim, ones);
+  // 2x the worst-case cell threshold of disturbance on the victim.
+  attacker.double_sided(victim, 4 * cfg.t_rh);
+  usize expected = 0;
+  for (const auto& c : model.vulnerable_cells(victim)) expected += c.one_to_zero;
+  usize flipped = 0;
+  for (u8 b : dev.peek_row(victim)) flipped += 8 - static_cast<usize>(std::popcount(b));
+  EXPECT_EQ(flipped, expected) << "every 1->0 vulnerable cell must flip at saturation";
+}
+
+// ------------------------------------------------------------- mapping -----
+
+TEST_P(Seeded, MappingBijectionForRandomConfigs) {
+  sys::Rng rng(GetParam());
+  auto model = models::make_test_mlp(32 + rng.uniform(64), 8 + rng.uniform(24), 4, GetParam());
+  quant::QuantizedModel qm(*model);
+  mapping::MappingConfig mcfg;
+  mcfg.placement_seed = GetParam() * 7;
+  mcfg.leave_aggressor_gaps = (GetParam() % 2) == 0;
+  const DramConfig cfg = DramConfig::nn_scaled();
+  mapping::WeightMapping map(qm, cfg, mcfg);
+  // Every weight maps to a unique (row, col).
+  std::set<std::pair<u64, usize>> seen;
+  for (usize l = 0; l < qm.num_layers(); ++l) {
+    for (usize i = 0; i < qm.layer(l).size(); ++i) {
+      const auto p = map.locate(l, i);
+      ASSERT_TRUE(seen.insert({flat_row_id(cfg.geo, p.row), p.col}).second);
+      const auto w = map.weight_at(p.row, p.col);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_EQ(w->layer, l);
+      EXPECT_EQ(w->index, i);
+    }
+  }
+  EXPECT_EQ(seen.size(), qm.total_weights());
+}
+
+// ------------------------------------------------------------ swap core ----
+
+TEST_P(Seeded, ArbitrarySwapChainsPreserveAllData) {
+  const DramConfig cfg = DramConfig::sim_small();
+  DramDevice dev(cfg);
+  RowRemapper remap(cfg.geo);
+  core::SwapEngine engine(dev, remap);
+  sys::Rng rng(GetParam());
+  // Fingerprint every non-reserved row of subarray (0,0).
+  const u32 usable = engine.reserved_base();
+  for (u32 r = 0; r < usable; ++r) {
+    std::vector<u8> data(cfg.geo.row_bytes, static_cast<u8>(r * 13 + 5));
+    dev.poke_row({0, 0, r}, data);
+  }
+  // Random protect() chains with random target/non-target pairs.
+  for (int i = 0; i < 120; ++i) {
+    const RowAddr target{0, 0, static_cast<u32>(rng.uniform(usable))};
+    const RowAddr nt{0, 0, static_cast<u32>(rng.uniform(usable))};
+    const bool with_nt = rng.bernoulli(0.7);
+    engine.protect(target, with_nt ? &nt : nullptr, rng);
+  }
+  // Every logical row's data must be intact wherever it physically lives.
+  for (u32 r = 0; r < usable; ++r) {
+    const RowAddr phys = remap.to_physical(RowAddr{0, 0, r});
+    const auto row = dev.peek_row(phys);
+    for (usize c = 0; c < cfg.geo.row_bytes; ++c) {
+      ASSERT_EQ(row[c], static_cast<u8>(r * 13 + 5)) << "logical row " << r << " corrupted";
+    }
+  }
+}
+
+// ---------------------------------------------------------------- quant ----
+
+TEST_P(Seeded, QuantizationErrorAlwaysWithinHalfStep) {
+  sys::Rng rng(GetParam());
+  auto model = models::make_test_mlp(16, 8, 3, GetParam());
+  // Scatter extreme weights to stress the scale computation.
+  for (auto& p : model->quantizable_params()) {
+    for (usize i = 0; i < p.value->size(); i += 3) {
+      (*p.value)[i] = static_cast<float>(rng.normal(0.0, 2.0));
+    }
+  }
+  auto reference = model->save_state();
+  quant::QuantizedModel qm(*model);
+  auto params = model->quantizable_params();
+  usize cursor = 0;
+  for (usize l = 0; l < qm.num_layers(); ++l) {
+    const float scale = qm.layer(l).scale;
+    for (usize i = 0; i < qm.layer(l).size(); ++i) {
+      const float original = reference[cursor][i];
+      const float quantized = (*params[l].value)[i];
+      // Clamping at +-127/-128 can exceed half-step only beyond the range.
+      if (std::fabs(original) <= 127.0f * scale) {
+        EXPECT_LE(std::fabs(quantized - original), scale * 0.5f + 1e-6f);
+      }
+    }
+    ++cursor;  // params and save_state share the leading ordering per layer
+    ++cursor;  // skip the bias entry
+  }
+}
+
+TEST_P(Seeded, RandomFlipSequencesAreInvolutions) {
+  auto model = models::make_test_mlp(16, 8, 3, GetParam());
+  quant::QuantizedModel qm(*model);
+  const auto snap = qm.snapshot();
+  sys::Rng rng(GetParam());
+  std::vector<quant::BitLocation> flips;
+  for (int i = 0; i < 64; ++i) {
+    const usize layer = static_cast<usize>(rng.uniform(qm.num_layers()));
+    const usize idx = static_cast<usize>(rng.uniform(qm.layer(layer).size()));
+    const u32 bit = static_cast<u32>(rng.uniform(8));
+    flips.push_back({layer, idx, bit});
+    qm.flip(flips.back());
+  }
+  EXPECT_LE(qm.hamming_distance(snap), 64u);
+  for (auto it = flips.rbegin(); it != flips.rend(); ++it) qm.flip(*it);
+  EXPECT_EQ(qm.hamming_distance(snap), 0u);
+  // Float view consistent with codes after the round trip.
+  for (usize l = 0; l < qm.num_layers(); ++l) {
+    for (usize i = 0; i < qm.layer(l).size(); i += 5) {
+      EXPECT_FLOAT_EQ((*qm.layer(l).value)[i],
+                      static_cast<float>(qm.get_q(l, i)) * qm.layer(l).scale);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- loss ----
+
+TEST_P(Seeded, SoftmaxGradientMatchesFiniteDifferenceEverywhere) {
+  sys::Rng rng(GetParam());
+  const usize n = 2 + rng.uniform(3), c = 2 + rng.uniform(5);
+  nn::Tensor logits({n, c});
+  for (usize i = 0; i < logits.size(); ++i) logits[i] = static_cast<float>(rng.normal(0, 2));
+  std::vector<u32> labels(n);
+  for (auto& y : labels) y = static_cast<u32>(rng.uniform(c));
+  const auto res = nn::softmax_cross_entropy(logits, labels);
+  constexpr double kEps = 1e-4;
+  for (usize i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(kEps);
+    const double lp = nn::softmax_cross_entropy_loss(logits, labels);
+    logits[i] = saved - static_cast<float>(kEps);
+    const double lm = nn::softmax_cross_entropy_loss(logits, labels);
+    logits[i] = saved;
+    // float32 logits limit the finite-difference precision at eps=1e-4.
+    EXPECT_NEAR(res.dlogits[i], (lp - lm) / (2 * kEps), 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace dnnd

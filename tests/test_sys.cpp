@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sys/energy_model.hpp"
+#include "sys/rng.hpp"
+#include "sys/table.hpp"
+#include "sys/types.hpp"
+
+namespace dnnd::sys {
+namespace {
+
+using namespace dnnd::time_literals;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (u64 bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 4800ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.03);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(29);
+  const auto idx = rng.sample_indices(50, 20);
+  ASSERT_EQ(idx.size(), 20u);
+  std::vector<bool> seen(50, false);
+  for (usize i : idx) {
+    ASSERT_LT(i, 50u);
+    EXPECT_FALSE(seen[i]) << "duplicate index " << i;
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng rng(31);
+  const auto idx = rng.sample_indices(10, 10);
+  std::vector<bool> seen(10, false);
+  for (usize i : idx) seen[i] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng root(41);
+  Rng a = root.split("alpha");
+  Rng b = root.split("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Hash, StableHashIsStable) {
+  EXPECT_EQ(stable_hash64("dnnd"), stable_hash64("dnnd"));
+  EXPECT_NE(stable_hash64("dnnd"), stable_hash64("dnne"));
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2, 3), hash_combine(3, 2, 1));
+}
+
+TEST(Hash, ToUnitInRange) {
+  for (u64 h : {0ull, 1ull, 0xFFFFFFFFFFFFFFFFull, 0x123456789ull}) {
+    const double v = hash_to_unit(h);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Units, TimeLiteralsAndConversions) {
+  EXPECT_EQ(1_ns, 1000_ps);
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(1_ms, 1000_us);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_DOUBLE_EQ(ps_to_ns(90'000), 90.0);
+  EXPECT_DOUBLE_EQ(ps_to_ms(64'000'000'000), 64.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "bbbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a   | bbbb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"x", "y"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(1150), "1,150");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1000), "-1,000");
+  EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Energy, PowerConversionExact) {
+  // 1 fJ / 1 ps == 1 mW by construction.
+  EXPECT_DOUBLE_EQ(average_power_mw(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(average_power_mw(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(average_power_mw(100, 0), 0.0);
+}
+
+TEST(Energy, ChannelCopyDwarfsRowClone) {
+  const EnergyParams p = EnergyParams::ddr4();
+  // RowClone's headline: in-DRAM copy is orders of magnitude cheaper than
+  // moving a row over the channel.
+  const Femtojoules channel = channel_row_copy_energy(p, 8192);
+  EXPECT_GT(channel, 20 * p.aap);
+}
+
+TEST(Energy, LpddrCheaperIo) {
+  const auto ddr4 = EnergyParams::ddr4();
+  const auto lp = EnergyParams::lpddr4();
+  EXPECT_LT(lp.offchip_transfer, ddr4.offchip_transfer);
+  EXPECT_LT(lp.background_mw, ddr4.background_mw);
+}
+
+TEST(Latency, SwapIsThreeAaps) {
+  const LatencyParams t;
+  EXPECT_EQ(t.t_swap(), 3 * t.t_aap);
+  EXPECT_EQ(t.t_aap, 90'000);  // 90 ns, paper Sec 5.1
+}
+
+}  // namespace
+}  // namespace dnnd::sys

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "defense/rrs.hpp"
+#include "defense/shadow.hpp"
+#include "system/protected_system.hpp"
+#include "test_util.hpp"
+
+namespace dnnd::system {
+namespace {
+
+using testutil::easy_data;
+using testutil::trained_mlp;
+
+class SystemFixture : public ::testing::Test {
+ protected:
+  SystemFixture() : model_(trained_mlp()), qm_(*model_) {
+    ProtectedSystemConfig cfg;
+    cfg.dram = dram::DramConfig::nn_scaled();
+    sys_ = std::make_unique<ProtectedSystem>(qm_, cfg);
+    std::tie(ax_, ay_) = easy_data().test.head(32);
+    std::tie(ex_, ey_) = easy_data().test.head(80);
+  }
+
+  core::ProfileResult quick_profile(usize rounds = 2) {
+    core::ProfilerConfig pcfg;
+    pcfg.rounds = rounds;
+    core::PriorityProfiler profiler(qm_, ax_, ay_, pcfg);
+    return profiler.profile();
+  }
+
+  std::unique_ptr<nn::Model> model_;
+  quant::QuantizedModel qm_;
+  std::unique_ptr<ProtectedSystem> sys_;
+  nn::Tensor ax_, ex_;
+  std::vector<u32> ay_, ey_;
+};
+
+TEST_F(SystemFixture, ConstructionUploadsWeights) {
+  const auto& mapping = sys_->mapping();
+  const auto place = mapping.locate(0, 0);
+  const auto phys = sys_->remapper().to_physical(place.row);
+  EXPECT_EQ(static_cast<i8>(sys_->device().peek(phys, place.col)), qm_.get_q(0, 0));
+}
+
+TEST_F(SystemFixture, SyncRoundtripAfterDeviceFlip) {
+  const auto snap = qm_.snapshot();
+  const auto place = sys_->mapping().locate(0, 7);
+  sys_->device().force_flip_bit(sys_->remapper().to_physical(place.row), place.col, 7);
+  sys_->sync_model_from_dram();
+  EXPECT_EQ(qm_.hamming_distance(snap), 1u);
+  // Re-upload pushes the (flipped) model state back; download is idempotent.
+  sys_->upload_model_to_dram();
+  sys_->sync_model_from_dram();
+  EXPECT_EQ(qm_.hamming_distance(snap), 1u);
+}
+
+TEST_F(SystemFixture, UndefendedAttackLandsFlips) {
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 8, 0.0);
+  EXPECT_EQ(res.attempts, 8u);
+  EXPECT_EQ(res.landed, 8u);
+  EXPECT_EQ(res.blocked, 0u);
+  EXPECT_LT(res.final_accuracy, res.initial_accuracy);
+}
+
+TEST_F(SystemFixture, DnnDefenderBlocksEverySecuredAttempt) {
+  const auto profile = quick_profile();
+  ASSERT_GT(profile.total_bits(), 0u);
+  auto& dd = sys_->install_dnn_defender(profile);
+  EXPECT_GT(dd.targets().size(), 0u);
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 10, 0.0);
+  // The profiler and attacker run the same search, so every proposed bit
+  // lies in a protected row: all attempts blocked, accuracy unchanged.
+  EXPECT_EQ(res.landed, 0u);
+  EXPECT_EQ(res.blocked, res.attempts);
+  EXPECT_DOUBLE_EQ(res.final_accuracy, res.initial_accuracy);
+  EXPECT_GT(dd.swap_stats().swaps, 0u);
+}
+
+TEST_F(SystemFixture, SecuredBitsCoverProfiledPrefix) {
+  const auto profile = quick_profile();
+  sys_->install_dnn_defender(profile, /*max_bits=*/4);
+  const auto secured = sys_->secured_bits();
+  for (usize i = 0; i < 4 && i < profile.total_bits(); ++i) {
+    EXPECT_TRUE(secured.contains(profile.priority_bits[i]))
+        << "row-granular protection must cover profiled bit " << i;
+  }
+  // Row granularity: secured set is a whole number of rows (bits multiple of 8).
+  EXPECT_EQ(secured.size() % 8, 0u);
+}
+
+TEST_F(SystemFixture, PartialProtectionBlocksSecuredLandsRest) {
+  const auto profile = quick_profile(3);
+  // Protect only the single highest-priority row.
+  sys_->install_dnn_defender(profile, /*max_bits=*/1);
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 12, 0.0);
+  EXPECT_GT(res.blocked, 0u) << "the top row must deflect the first attempts";
+  EXPECT_GT(res.landed, 0u) << "unprotected bits must remain attackable";
+}
+
+TEST_F(SystemFixture, ClearMitigationRestoresVulnerability) {
+  const auto profile = quick_profile();
+  sys_->install_dnn_defender(profile);
+  sys_->clear_mitigation();
+  EXPECT_EQ(sys_->defender(), nullptr);
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 4, 0.0);
+  EXPECT_EQ(res.landed, 4u);
+}
+
+TEST_F(SystemFixture, BaselineMitigationsInstallable) {
+  auto rrs = std::make_unique<defense::Rrs>(sys_->device(), sys_->remapper());
+  defense::Rrs* rrs_ptr = rrs.get();
+  sys_->install_mitigation(std::move(rrs));
+  EXPECT_EQ(sys_->defender(), nullptr);
+  EXPECT_EQ(sys_->mitigation(), rrs_ptr);
+  // RRS is aggressor-focused: the white-box attack still lands.
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 4, 0.0);
+  EXPECT_GT(res.landed, 0u);
+}
+
+TEST_F(SystemFixture, ShadowBlocksSystemAttack) {
+  sys_->install_mitigation(
+      std::make_unique<defense::Shadow>(sys_->device(), sys_->remapper()));
+  const auto res = sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 6, 0.0);
+  EXPECT_EQ(res.landed, 0u) << "SHADOW (victim-focused) should block white-box attacks";
+}
+
+TEST_F(SystemFixture, DefenderOverheadIsSmallShareOfBusTime) {
+  const auto profile = quick_profile();
+  auto& dd = sys_->install_dnn_defender(profile);
+  sys_->run_white_box_attack(ax_, ay_, ex_, ey_, 6, 0.0);
+  // Denominator: total elapsed device time (the attacker's massaging costs
+  // wall-clock during which the defender keeps its schedule); the defense's
+  // bus occupancy must stay a small fraction of it.
+  const auto elapsed = sys_->device().now();
+  ASSERT_GT(elapsed, 0);
+  const double share =
+      static_cast<double>(dd.stats().time_spent) / static_cast<double>(elapsed);
+  EXPECT_LT(share, 0.10) << "defense maintenance should not dominate the device";
+}
+
+}  // namespace
+}  // namespace dnnd::system
