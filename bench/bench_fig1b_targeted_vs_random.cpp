@@ -1,11 +1,13 @@
 // Fig. 1(b): targeted BFA vs random bit flipping on an 8-bit quantized
 // ResNet-34 (ImageNet stand-in), and the same targeted attack against a
 // DNN-Defender-protected model.
-#include "attack/adaptive_attack.hpp"
-#include "attack/random_attack.hpp"
+//
+// Driven by the scenario-sweep harness (harness::fig1b_scenarios); the three
+// curves run as independent scenarios on a thread pool (DNND_THREADS env
+// var). Results are deterministic regardless of thread count.
 #include "bench_util.hpp"
-#include "core/priority_profiler.hpp"
-#include "mapping/weight_mapping.hpp"
+#include "harness/campaign.hpp"
+#include "harness/registry.hpp"
 
 using namespace dnnd;
 
@@ -13,69 +15,31 @@ int main() {
   bench::banner("Fig. 1(b) -- Targeted BFA vs random attack vs DNN-Defender",
                 "paper Fig. 1(b): 8-bit ResNet-34, <5 targeted flips vs >100 random");
   const bool small = bench::small_scale();
-  auto data = nn::make_synthetic(nn::SynthSpec::imagenet_like());
-  auto model = bench::train_model("resnet34", data, /*epochs=*/6);
-  auto [ax, ay] = data.test.head(small ? 24 : 32);
-  auto [ex, ey] = data.test.head(small ? 120 : 300);
 
-  quant::QuantizedModel qm(*model);
-  const auto clean_snapshot = qm.snapshot();
-  const double clean_acc = qm.model().accuracy(ex, ey);
+  harness::CampaignConfig cfg;
+  cfg.threads = harness::env_threads();
+  cfg.verbose = true;
+  harness::CampaignRunner runner(cfg);
+  const auto campaign = runner.run(harness::fig1b_scenarios(small));
+
+  const auto& bfa = campaign.by_id("fig1b/bfa");
+  const auto& random = campaign.by_id("fig1b/random");
+  const auto& defended = campaign.by_id("fig1b/dnn-defender");
+  for (const auto* r : {&bfa, &random, &defended}) {
+    if (!r->ok) {
+      std::fprintf(stderr, "scenario %s failed: %s\n", r->id.c_str(), r->error.c_str());
+      return 1;
+    }
+  }
   std::printf("[setup] 8-bit quantized accuracy: %.2f%% (%llu weight bits)\n",
-              100.0 * clean_acc, static_cast<unsigned long long>(qm.total_bits()));
-
-  const usize bfa_budget = small ? 15 : 30;
-  const usize random_budget = small ? 60 : 150;
-
-  // --- targeted BFA, accuracy after every flip ---
-  std::vector<double> bfa_curve{clean_acc};
-  {
-    attack::BfaConfig cfg;
-    cfg.max_flips = bfa_budget;
-    attack::ProgressiveBitSearch bfa(qm, ax, ay, cfg);
-    for (usize i = 0; i < bfa_budget; ++i) {
-      const auto rec = bfa.step({});
-      if (!rec.has_value()) break;
-      bfa_curve.push_back(qm.model().accuracy(ex, ey));
-      if (bfa_curve.back() <= 1.1 / data.spec.num_classes) break;
-    }
-    qm.restore(clean_snapshot);
-  }
-
-  // --- random attack ---
-  std::vector<double> random_curve{clean_acc};
-  {
-    attack::RandomBitAttack rnd(qm, sys::Rng(3));
-    const auto res = rnd.run(random_budget, ex, ey, 10);
-    random_curve = res.accuracy_trace;
-    qm.restore(clean_snapshot);
-  }
-
-  // --- DNN-Defender: full priority coverage of the weight rows (the
-  // deployment the paper's flat curve corresponds to), attacked adaptively ---
-  const mapping::WeightMapping map(qm, dram::DramConfig::nn_scaled());
-  quant::BitSkipSet secured;
-  for (const auto& row : map.weight_rows()) {
-    const usize count = map.weights_in_row(row);
-    for (usize col = 0; col < count; ++col) {
-      const auto w = map.weight_at(row, col);
-      for (u32 b = 0; b < 8; ++b) secured.insert({w->layer, w->index, b});
-    }
-  }
+              100.0 * bfa.clean_accuracy, static_cast<unsigned long long>(bfa.total_bits));
   std::printf("[setup] DNN-Defender protects %zu weight rows (%zu secured bits)\n",
-              map.weight_rows().size(), secured.size());
-  std::vector<double> defended_curve{clean_acc};
-  {
-    attack::AdaptiveAttackConfig cfg;
-    cfg.max_additional_flips = random_budget;
-    cfg.measure_every = 10;
-    attack::AdaptiveWhiteBoxAttack attack(qm, ax, ay, ex, ey, cfg);
-    const auto res = attack.run(secured);
-    defended_curve = res.accuracy_trace;
-    qm.restore(clean_snapshot);
-  }
+              defended.secured_rows, defended.secured_bits);
 
   // --- print the three series ---
+  const std::vector<double>& bfa_curve = bfa.trace;
+  const std::vector<double>& random_curve = random.trace;
+  const std::vector<double>& defended_curve = defended.trace;
   sys::Table table({"flips", "BFA attack (%)", "random attack (%)", "our defense (%)"});
   const usize rows = std::max({bfa_curve.size(), random_curve.size(), defended_curve.size()});
   for (usize i = 0; i < rows; ++i) {
@@ -93,5 +57,7 @@ int main() {
       "a handful of flips; random flips at 10x the budget barely move accuracy;\n"
       "with DNN-Defender securing the vulnerable bits the attack degrades to\n"
       "the random level (flat curve).\n");
+  std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
+              campaign.threads_used, campaign.total_seconds);
   return 0;
 }

@@ -2,170 +2,33 @@
 // BFA defenses and generic hardware defenses, on a ResNet-20 stand-in trained
 // on the CIFAR-10-like dataset. Reports clean accuracy, post-attack accuracy,
 // and the number of bit flips the attack spent.
-#include "attack/bfa.hpp"
+//
+// Driven by the scenario-sweep harness: the grid comes from
+// harness::table3_scenarios and runs on a thread pool (DNND_THREADS env var,
+// default = hardware concurrency). Results are deterministic regardless of
+// thread count; set DNND_JSON=1 to dump the structured results as JSON.
 #include "bench_util.hpp"
-#include "defense/rrs.hpp"
-#include "defense/shadow.hpp"
-#include "defense/software_defenses.hpp"
-#include "defense/srs.hpp"
-#include "system/protected_system.hpp"
+#include "harness/campaign.hpp"
+#include "harness/registry.hpp"
 
 using namespace dnnd;
-
-namespace {
-
-struct Row {
-  std::string name;
-  double clean_acc;
-  double post_acc;
-  std::string flips;
-};
-
-}  // namespace
 
 int main() {
   bench::banner("Table 3 -- DNN-Defender vs software & hardware BFA defenses",
                 "paper Table 3: ResNet-20 on CIFAR-10, clean/post-attack acc, flips");
   const bool small = bench::small_scale();
-  auto data = nn::make_synthetic(nn::SynthSpec::cifar10_like());
-  auto [ax, ay] = data.test.head(small ? 24 : 32);
-  auto [ex, ey] = data.test.head(small ? 120 : 300);
-  const double stop_acc = 1.1 / data.spec.num_classes;
-  const usize bfa_budget = small ? 60 : 120;
-  const usize binary_budget = small ? 80 : 200;
-  const usize hw_attempts = small ? 12 : 30;
 
-  auto base = bench::train_model("resnet20", data, 6);
-  const auto base_weights = base->save_state();
-  auto wide = bench::train_model("resnet20", data, 5, /*seed=*/2, /*width_mult=*/2);
-  const auto wide_weights = wide->save_state();
-
-  std::vector<Row> rows;
-  auto eval_acc = [&](nn::Model& m) { return m.accuracy(ex, ey); };
-
-  // --- Baseline: plain 8-bit quantized model under BFA ---
-  {
-    quant::QuantizedModel qm(*base);
-    const double clean = eval_acc(*base);
-    attack::BfaConfig cfg;
-    cfg.max_flips = bfa_budget;
-    cfg.stop_accuracy = stop_acc;
-    attack::ProgressiveBitSearch bfa(qm, ax, ay, cfg);
-    const auto res = bfa.run();
-    rows.push_back({"Baseline ResNet-20 (8-bit)", clean, eval_acc(*base),
-                    std::to_string(res.flips.size())});
-    base->load_state(base_weights);
-  }
-
-  // --- Weight Reconstruction (Li et al. DAC'20): clamp after every flip ---
-  {
-    quant::QuantizedModel qm(*base);
-    const double clean = eval_acc(*base);
-    defense::software::ReconstructionGuard guard(qm);
-    attack::BfaConfig cfg;
-    cfg.stop_accuracy = stop_acc;
-    attack::ProgressiveBitSearch bfa(qm, ax, ay, cfg);
-    usize flips = 0;
-    double acc = clean;
-    while (flips < bfa_budget && acc > stop_acc) {
-      if (!bfa.step({}).has_value()) break;
-      ++flips;
-      guard.apply(qm);
-      acc = eval_acc(*base);
-    }
-    rows.push_back({"Weight Reconstruction", clean, acc,
-                    acc > stop_acc ? ">" + std::to_string(flips) : std::to_string(flips)});
-    base->load_state(base_weights);
-  }
-
-  // --- Binary weight (He et al. CVPR'20): STE fine-tune, then attack ---
-  {
-    defense::software::binary_finetune(*base, data, /*epochs=*/small ? 2 : 4, /*lr=*/0.02, 5);
-    defense::software::BinaryWeightModel bm(*base);
-    const double clean = eval_acc(*base);
-    const auto res = defense::software::attack_binary(bm, ax, ay, binary_budget, stop_acc);
-    rows.push_back({"Binary weight", clean, eval_acc(*base),
-                    res.reached_stop ? std::to_string(res.flips)
-                                     : ">" + std::to_string(res.flips)});
-    base->load_state(base_weights);
-  }
-
-  // --- Piece-wise clustering (He et al. CVPR'20) ---
-  {
-    defense::software::piecewise_clustering_finetune(*base, data, /*lambda=*/0.15,
-                                                     /*epochs=*/small ? 1 : 2, /*lr=*/0.01, 5);
-    quant::QuantizedModel qm(*base);
-    const double clean = eval_acc(*base);
-    attack::BfaConfig cfg;
-    cfg.max_flips = bfa_budget;
-    cfg.stop_accuracy = stop_acc;
-    attack::ProgressiveBitSearch bfa(qm, ax, ay, cfg);
-    const auto res = bfa.run();
-    rows.push_back({"Piece-wise Clustering", clean, eval_acc(*base),
-                    res.reached_stop ? std::to_string(res.flips.size())
-                                     : ">" + std::to_string(res.flips.size())});
-    base->load_state(base_weights);
-  }
-
-  // --- Model capacity x4 (scaled stand-in for the paper's x16; DESIGN.md) ---
-  {
-    quant::QuantizedModel qm(*wide);
-    const double clean = wide->accuracy(ex, ey);
-    attack::BfaConfig cfg;
-    cfg.max_flips = bfa_budget;
-    cfg.stop_accuracy = stop_acc;
-    attack::ProgressiveBitSearch bfa(qm, ax, ay, cfg);
-    const auto res = bfa.run();
-    rows.push_back({"Model Capacity x4", clean, wide->accuracy(ex, ey),
-                    res.reached_stop ? std::to_string(res.flips.size())
-                                     : ">" + std::to_string(res.flips.size())});
-    wide->load_state(wide_weights);
-  }
-
-  // --- RA-BNN stand-in: STE-trained binary weights on the widened model ---
-  {
-    defense::software::binary_finetune(*wide, data, /*epochs=*/small ? 2 : 4, /*lr=*/0.02, 5);
-    defense::software::BinaryWeightModel bm(*wide);
-    const double clean = wide->accuracy(ex, ey);
-    const auto res = defense::software::attack_binary(bm, ax, ay, binary_budget, stop_acc);
-    rows.push_back({"RA-BNN (binary, wide)", clean, wide->accuracy(ex, ey),
-                    res.reached_stop ? std::to_string(res.flips)
-                                     : ">" + std::to_string(res.flips)});
-    wide->load_state(wide_weights);
-  }
-
-  // --- Hardware defenses: full-stack white-box attacks through the DRAM sim --
-  auto hw_row = [&](const std::string& name, auto install) {
-    quant::QuantizedModel qm(*base);
-    system::ProtectedSystemConfig scfg;
-    scfg.dram = dram::DramConfig::nn_scaled();
-    system::ProtectedSystem sys(qm, scfg);
-    install(sys, qm);
-    const double clean = eval_acc(*base);
-    const auto res = sys.run_white_box_attack(ax, ay, ex, ey, hw_attempts, stop_acc);
-    rows.push_back({name, clean, res.final_accuracy,
-                    std::to_string(res.attempts) + " (" + std::to_string(res.landed) +
-                        " landed)"});
-    base->load_state(base_weights);
-  };
-  hw_row("RRS", [](system::ProtectedSystem& s, quant::QuantizedModel&) {
-    s.install_mitigation(std::make_unique<defense::Rrs>(s.device(), s.remapper()));
-  });
-  hw_row("SRS", [](system::ProtectedSystem& s, quant::QuantizedModel&) {
-    s.install_mitigation(std::make_unique<defense::Srs>(s.device(), s.remapper()));
-  });
-  hw_row("SHADOW", [](system::ProtectedSystem& s, quant::QuantizedModel&) {
-    s.install_mitigation(std::make_unique<defense::Shadow>(s.device(), s.remapper()));
-  });
-  hw_row("DNN-Defender", [&](system::ProtectedSystem& s, quant::QuantizedModel& qm) {
-    core::PriorityProfiler profiler(qm, ax, ay);
-    s.install_dnn_defender(profiler.profile_blocked_attacker(2 * hw_attempts));
-  });
+  harness::CampaignConfig cfg;
+  cfg.threads = harness::env_threads();
+  cfg.verbose = true;
+  harness::CampaignRunner runner(cfg);
+  const auto campaign = runner.run(harness::table3_scenarios(small));
 
   sys::Table table({"Model / Defense", "Clean Acc (%)", "Post-Attack Acc (%)", "Bit-Flips #"});
-  for (const auto& r : rows) {
-    table.add_row({r.name, sys::fmt(100.0 * r.clean_acc, 2), sys::fmt(100.0 * r.post_acc, 2),
-                   r.flips});
+  for (const auto& r : campaign.results) {
+    table.add_row({r.label, sys::fmt(100.0 * r.clean_accuracy, 2),
+                   sys::fmt(100.0 * r.post_accuracy, 2),
+                   r.ok ? r.flips : "ERROR: " + r.error});
   }
   table.print();
   std::printf(
@@ -174,5 +37,10 @@ int main() {
       "clean accuracy; RRS/SRS only slow the attack; SHADOW and DNN-Defender\n"
       "block it, and only DNN-Defender keeps post-attack accuracy exactly at\n"
       "the clean level with zero training overhead.\n");
+  std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
+              campaign.threads_used, campaign.total_seconds);
+  if (const char* dump = std::getenv("DNND_JSON"); dump != nullptr && dump[0] == '1') {
+    std::printf("%s\n", campaign.to_json().c_str());
+  }
   return 0;
 }

@@ -47,7 +47,12 @@ void DnnDefender::recompute_schedule() {
 
 void DnnDefender::tick() {
   if (targets_.empty() || interval_ == 0) return;
-  while (device_.now() >= next_due_) {
+  // Drain only the backlog that existed on entry. Comparing against the live
+  // clock would never converge on an infeasible (over-subscribed) schedule,
+  // where each swap consumes device time at least as fast as the schedule
+  // releases it.
+  const Picoseconds deadline = device_.now();
+  while (deadline >= next_due_) {
     maintenance([&] {
       const RowAddr target = targets_[target_cursor_];
       target_cursor_ = (target_cursor_ + 1) % targets_.size();

@@ -1,0 +1,61 @@
+#include "harness/artifact_cache.hpp"
+
+#include "models/model_zoo.hpp"
+
+namespace dnnd::harness {
+
+const nn::SplitDataset& ArtifactCache::dataset(DatasetKind kind) {
+  DatasetEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = datasets_[static_cast<int>(kind)];
+    if (!slot) slot = std::make_unique<DatasetEntry>();
+    entry = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->data) {
+    entry->data = std::make_unique<nn::SplitDataset>(nn::make_synthetic(dataset_spec(kind)));
+  }
+  return *entry->data;
+}
+
+std::unique_ptr<nn::Model> ArtifactCache::build_model(const nn::SplitDataset& data,
+                                                      const TrainSpec& spec) {
+  if (spec.arch == "mlp") {
+    const auto& s = data.spec;
+    return models::make_test_mlp(s.channels * s.height * s.width, 24 * spec.width_mult,
+                                 s.num_classes, spec.seed);
+  }
+  return models::make_by_name(spec.arch, data.spec.num_classes, spec.seed, spec.width_mult);
+}
+
+std::unique_ptr<nn::Model> ArtifactCache::trained_model(DatasetKind data_kind,
+                                                        const TrainSpec& spec) {
+  const nn::SplitDataset& data = dataset(data_kind);
+  const std::string key = to_string(data_kind) + "|" + spec.arch + "|w" +
+                          std::to_string(spec.width_mult) + "|e" + std::to_string(spec.epochs) +
+                          "|s" + std::to_string(spec.seed);
+  ModelEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = models_[key];
+    if (!slot) slot = std::make_unique<ModelEntry>();
+    entry = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (!entry->ready) {
+    auto model = build_model(data, spec);
+    nn::TrainConfig cfg;
+    cfg.epochs = spec.epochs;
+    nn::train(*model, data, cfg);
+    entry->state = model->save_state();
+    entry->ready = true;
+    // The just-trained instance already has the right weights; hand it out.
+    return model;
+  }
+  auto model = build_model(data, spec);
+  model->load_state(entry->state);
+  return model;
+}
+
+}  // namespace dnnd::harness

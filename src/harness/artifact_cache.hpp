@@ -1,0 +1,52 @@
+// Thread-safe memoization of the expensive, shared scenario prerequisites:
+// synthetic datasets and trained model weights. Many grid cells attack the
+// same trained model; training it once per (arch, dataset, width, epochs,
+// seed) key keeps a parallel campaign from redundantly retraining per cell.
+//
+// Determinism: an entry's content depends only on its key (training is
+// single-threaded and fully seeded), so whichever worker populates the cache
+// first, every scenario observes identical weights -- thread schedule cannot
+// leak into results.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "nn/model.hpp"
+#include "nn/trainer.hpp"
+
+namespace dnnd::harness {
+
+class ArtifactCache {
+ public:
+  /// The (cached) dataset for a kind. The reference stays valid for the
+  /// cache's lifetime; datasets are immutable after construction.
+  const nn::SplitDataset& dataset(DatasetKind kind);
+
+  /// A freshly-constructed model carrying cached trained weights. Each call
+  /// returns an independent instance (scenarios mutate their models).
+  std::unique_ptr<nn::Model> trained_model(DatasetKind data, const TrainSpec& spec);
+
+ private:
+  struct DatasetEntry {
+    std::mutex mu;
+    std::unique_ptr<nn::SplitDataset> data;
+  };
+  struct ModelEntry {
+    std::mutex mu;
+    bool ready = false;
+    std::vector<nn::Tensor> state;  ///< trained save_state snapshot
+  };
+
+  /// Builds an untrained model instance for a spec ("mlp" = test MLP).
+  std::unique_ptr<nn::Model> build_model(const nn::SplitDataset& data, const TrainSpec& spec);
+
+  std::mutex mu_;  ///< guards the maps; entries carry their own locks
+  std::map<int, std::unique_ptr<DatasetEntry>> datasets_;
+  std::map<std::string, std::unique_ptr<ModelEntry>> models_;
+};
+
+}  // namespace dnnd::harness

@@ -1,0 +1,312 @@
+#include "harness/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "attack/adaptive_attack.hpp"
+#include "attack/random_attack.hpp"
+#include "core/priority_profiler.hpp"
+#include "defense/software_defenses.hpp"
+#include "mapping/weight_mapping.hpp"
+#include "sys/json.hpp"
+#include "system/protected_system.hpp"
+
+namespace dnnd::harness {
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+std::string flips_or_more(usize flips, bool reached_stop) {
+  return reached_stop ? std::to_string(flips) : ">" + std::to_string(flips);
+}
+
+/// Secured-bit set covering every bit of every weight row (Fig. 1b's
+/// full-coverage DNN-Defender deployment).
+quant::BitSkipSet all_weight_row_bits(const quant::QuantizedModel& qm,
+                                      const dram::DramConfig& dram, usize& rows_out) {
+  const mapping::WeightMapping map(qm, dram);
+  rows_out = map.weight_rows().size();
+  quant::BitSkipSet secured;
+  for (const auto& row : map.weight_rows()) {
+    const usize count = map.weights_in_row(row);
+    for (usize col = 0; col < count; ++col) {
+      const auto w = map.weight_at(row, col);
+      if (!w.has_value()) continue;
+      for (u32 b = 0; b < 8; ++b) secured.insert({w->layer, w->index, b});
+    }
+  }
+  return secured;
+}
+
+void run_scenario_impl(const Scenario& sc, ArtifactCache& cache, ScenarioResult& r) {
+  const u64 seed = scenario_seed(sc);
+  const nn::SplitDataset& data = cache.dataset(sc.dataset);
+  const double stop_acc =
+      sc.stop_accuracy > 0.0 ? sc.stop_accuracy : 1.1 / data.spec.num_classes;
+  auto model = cache.trained_model(sc.dataset, sc.train);
+  auto [ax, ay] = data.test.head(sc.attack_batch);
+  auto [ex, ey] = data.test.head(sc.eval_batch);
+
+  // ----- training-time software defense (before quantization) -----
+  switch (sc.prep) {
+    case SoftwarePrep::kNone:
+      break;
+    case SoftwarePrep::kBinaryFinetune:
+      defense::software::binary_finetune(*model, data, sc.prep_epochs, sc.prep_lr,
+                                         sc.prep_seed);
+      break;
+    case SoftwarePrep::kPiecewiseClustering:
+      defense::software::piecewise_clustering_finetune(*model, data, sc.prep_lambda,
+                                                       sc.prep_epochs, sc.prep_lr,
+                                                       sc.prep_seed);
+      break;
+  }
+
+  auto eval_acc = [&] { return model->accuracy(ex, ey); };
+
+  if (sc.attack == AttackKind::kBinaryBfa) {
+    defense::software::BinaryWeightModel bm(*model);
+    r.clean_accuracy = eval_acc();
+    const auto res =
+        defense::software::attack_binary(bm, ax, ay, sc.max_flips, stop_acc);
+    r.post_accuracy = eval_acc();
+    r.flips = flips_or_more(res.flips, res.reached_stop);
+    return;
+  }
+
+  quant::QuantizedModel qm(*model);
+  r.clean_accuracy = eval_acc();
+  r.total_bits = qm.total_bits();
+
+  switch (sc.attack) {
+    case AttackKind::kBfa: {
+      if (sc.reconstruction_guard) {
+        // Weight reconstruction (Li et al. DAC'20): clamp after every flip.
+        const defense::software::ReconstructionGuard guard(qm);
+        attack::BfaConfig bcfg = {};
+        bcfg.stop_accuracy = stop_acc;
+        attack::ProgressiveBitSearch bfa(qm, ax, ay, bcfg);
+        usize flips = 0;
+        double acc = r.clean_accuracy;
+        while (flips < sc.max_flips && acc > stop_acc) {
+          if (!bfa.step({}).has_value()) break;
+          ++flips;
+          guard.apply(qm);
+          acc = eval_acc();
+        }
+        r.post_accuracy = acc;
+        r.flips = flips_or_more(flips, acc <= stop_acc);
+      } else if (sc.record_trace) {
+        // Fig. 1b-style curve: accuracy after every committed flip, stopping
+        // at the random-guess level on the eval batch.
+        attack::BfaConfig bcfg = {};
+        bcfg.max_flips = sc.max_flips;
+        attack::ProgressiveBitSearch bfa(qm, ax, ay, bcfg);
+        r.trace.push_back(r.clean_accuracy);
+        for (usize i = 0; i < sc.max_flips; ++i) {
+          if (!bfa.step({}).has_value()) break;
+          r.trace.push_back(eval_acc());
+          if (r.trace.back() <= stop_acc) break;
+        }
+        r.post_accuracy = r.trace.back();
+        r.flips = std::to_string(r.trace.size() - 1);
+      } else {
+        attack::BfaConfig bcfg = {};
+        bcfg.max_flips = sc.max_flips;
+        bcfg.stop_accuracy = stop_acc;
+        attack::ProgressiveBitSearch bfa(qm, ax, ay, bcfg);
+        const auto res = bfa.run();
+        r.post_accuracy = eval_acc();
+        r.flips = flips_or_more(res.flips.size(), res.reached_stop);
+      }
+      return;
+    }
+
+    case AttackKind::kRandom: {
+      attack::RandomBitAttack rnd(qm, sys::Rng(seed));
+      const auto res = rnd.run(sc.max_flips, ex, ey, sc.measure_every);
+      r.trace = res.accuracy_trace;
+      r.post_accuracy = r.trace.empty() ? r.clean_accuracy : r.trace.back();
+      r.flips = std::to_string(res.flips.size());
+      return;
+    }
+
+    case AttackKind::kAdaptive: {
+      quant::BitSkipSet secured;
+      if (sc.secure_all_weight_rows) {
+        secured = all_weight_row_bits(qm, sc.dram, r.secured_rows);
+      }
+      attack::AdaptiveAttackConfig acfg = {};
+      acfg.max_additional_flips = sc.max_flips;
+      acfg.measure_every = sc.measure_every;
+      attack::AdaptiveWhiteBoxAttack atk(qm, ax, ay, ex, ey, acfg);
+      const auto res = atk.run(secured);
+      r.trace = res.accuracy_trace;
+      r.secured_bits = secured.size();
+      r.post_accuracy = r.trace.empty() ? r.clean_accuracy : r.trace.back();
+      r.flips = std::to_string(res.landed_flips.size());
+      return;
+    }
+
+    case AttackKind::kDramWhiteBox: {
+      system::ProtectedSystemConfig scfg;
+      scfg.dram = sc.dram;
+      scfg.seed = seed;
+      system::ProtectedSystem psys(qm, scfg);
+      if (sc.use_dnn_defender) {
+        core::PriorityProfiler profiler(qm, ax, ay);
+        psys.install_dnn_defender(profiler.profile_blocked_attacker(sc.profile_bits));
+        r.secured_bits = psys.secured_bits().size();
+      } else if (sc.mitigation) {
+        psys.install_mitigation(sc.mitigation(psys.device(), psys.remapper()));
+      }
+      // clean_accuracy was measured right after quantization; neither the
+      // DRAM upload nor a defense install changes the weights.
+      const auto res =
+          psys.run_white_box_attack(ax, ay, ex, ey, sc.hw_attempts, stop_acc);
+      r.attempts = res.attempts;
+      r.landed = res.landed;
+      r.blocked = res.blocked;
+      r.post_accuracy = res.final_accuracy;
+      r.flips =
+          std::to_string(res.attempts) + " (" + std::to_string(res.landed) + " landed)";
+      return;
+    }
+
+    case AttackKind::kBinaryBfa:
+      break;  // handled above
+  }
+  throw std::logic_error("unhandled attack kind");
+}
+
+}  // namespace
+
+ScenarioResult CampaignRunner::run_scenario(const Scenario& sc, ArtifactCache& cache) {
+  ScenarioResult r;
+  r.id = sc.id;
+  r.label = sc.label.empty() ? sc.id : sc.label;
+  r.model = sc.train.arch +
+            (sc.train.width_mult > 1 ? " (x" + std::to_string(sc.train.width_mult) + ")" : "");
+  r.defense = sc.defense;
+  r.attack = to_string(sc.attack);
+  try {
+    run_scenario_impl(sc, cache, r);
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  return r;
+}
+
+CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(cfg) {}
+
+CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
+  CampaignResult out;
+  out.results.resize(scenarios.size());
+  usize threads = cfg_.threads != 0
+                      ? cfg_.threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::max<usize>(1, std::min(threads, scenarios.size()));
+  out.threads_used = threads;
+
+  const double t0 = now_seconds();
+  std::atomic<usize> next{0};
+  auto worker = [&] {
+    while (true) {
+      const usize i = next.fetch_add(1);
+      if (i >= scenarios.size()) return;
+      const double s0 = now_seconds();
+      ScenarioResult res = run_scenario(scenarios[i], cache_);
+      res.wall_seconds = now_seconds() - s0;
+      if (cfg_.verbose) {
+        std::fprintf(stderr, "[campaign] %-32s %s (%.1fs)\n", res.id.c_str(),
+                     res.ok ? "ok" : res.error.c_str(), res.wall_seconds);
+      }
+      out.results[i] = std::move(res);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (usize t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  out.total_seconds = now_seconds() - t0;
+  return out;
+}
+
+sys::Table CampaignResult::table() const {
+  sys::Table t({"scenario", "model", "defense", "attack", "clean acc (%)", "post acc (%)",
+                "flips"});
+  for (const auto& r : results) {
+    t.add_row({r.id, r.model, r.defense, r.attack, sys::fmt(100.0 * r.clean_accuracy, 2),
+               sys::fmt(100.0 * r.post_accuracy, 2),
+               r.ok ? r.flips : "ERROR: " + r.error});
+  }
+  return t;
+}
+
+std::string CampaignResult::to_json(bool include_timing) const {
+  sys::JsonWriter w;
+  w.begin_object();
+  if (include_timing) {
+    w.key("threads").value(threads_used);
+    w.key("total_seconds").value(total_seconds);
+  }
+  w.key("scenarios").begin_array();
+  for (const auto& r : results) {
+    w.begin_object();
+    w.key("id").value(r.id);
+    w.key("label").value(r.label);
+    w.key("model").value(r.model);
+    w.key("defense").value(r.defense);
+    w.key("attack").value(r.attack);
+    w.key("ok").value(r.ok);
+    if (!r.ok) w.key("error").value(r.error);
+    w.key("clean_accuracy").value(r.clean_accuracy);
+    w.key("post_accuracy").value(r.post_accuracy);
+    w.key("flips").value(r.flips);
+    w.key("attempts").value(r.attempts);
+    w.key("landed").value(r.landed);
+    w.key("blocked").value(r.blocked);
+    w.key("secured_bits").value(r.secured_bits);
+    w.key("secured_rows").value(r.secured_rows);
+    w.key("total_bits").value(r.total_bits);
+    w.key("trace").begin_array();
+    for (const double v : r.trace) w.value(v);
+    w.end_array();
+    if (include_timing) w.key("wall_seconds").value(r.wall_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+const ScenarioResult& CampaignResult::by_id(std::string_view id) const {
+  for (const auto& r : results) {
+    if (r.id == id) return r;
+  }
+  throw std::out_of_range("no scenario result with id: " + std::string(id));
+}
+
+usize env_threads() {
+  const char* v = std::getenv("DNND_THREADS");
+  if (v == nullptr) return 0;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<usize>(n) : 0;
+}
+
+}  // namespace dnnd::harness

@@ -1,0 +1,94 @@
+// CampaignRunner: executes a grid of Scenarios across a std::thread pool and
+// collects structured, deterministic results.
+//
+// Determinism contract: results depend only on the scenario list (ids,
+// budgets, configs), never on the thread count or completion order. Workers
+// claim scenario indices from an atomic counter and write into the matching
+// result slot; every RNG is seeded from scenario_seed(). Wall-clock fields
+// are the only nondeterministic outputs and are excluded from table()/
+// to_json() unless explicitly requested.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "harness/artifact_cache.hpp"
+#include "harness/scenario.hpp"
+#include "sys/table.hpp"
+
+namespace dnnd::harness {
+
+struct CampaignConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  usize threads = 0;
+  /// Print one line per finished scenario to stderr.
+  bool verbose = false;
+};
+
+/// Structured outcome of one scenario.
+struct ScenarioResult {
+  std::string id;
+  std::string label;
+  std::string model;
+  std::string defense;
+  std::string attack;
+
+  bool ok = false;
+  std::string error;  ///< set when ok == false; scenario failures never abort a campaign
+
+  double clean_accuracy = 0.0;
+  double post_accuracy = 0.0;
+  std::string flips;  ///< paper-style flip count (">80", "30 (0 landed)", ...)
+
+  // kDramWhiteBox details
+  usize attempts = 0;
+  usize landed = 0;
+  usize blocked = 0;
+
+  usize secured_bits = 0;        ///< size of the secured set (kAdaptive / defender)
+  usize secured_rows = 0;        ///< weight rows covered by the secured set
+  u64 total_bits = 0;            ///< attackable weight bits of the quantized model
+  std::vector<double> trace;     ///< accuracy curve (record_trace / trace attacks)
+
+  double wall_seconds = 0.0;     ///< nondeterministic; excluded from table/JSON
+};
+
+struct CampaignResult {
+  std::vector<ScenarioResult> results;  ///< same order as the input scenarios
+  usize threads_used = 1;
+  double total_seconds = 0.0;
+
+  /// Generic campaign table (deterministic).
+  [[nodiscard]] sys::Table table() const;
+
+  /// Deterministic JSON export; timing fields only with include_timing.
+  [[nodiscard]] std::string to_json(bool include_timing = false) const;
+
+  /// Result lookup by scenario id; throws std::out_of_range when absent.
+  [[nodiscard]] const ScenarioResult& by_id(std::string_view id) const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig cfg = {});
+
+  /// Runs all scenarios (parallel when cfg.threads > 1). Exceptions inside a
+  /// scenario are captured into its result (ok = false).
+  CampaignResult run(const std::vector<Scenario>& scenarios);
+
+  /// Executes one scenario against a cache. Deterministic given (sc, cache
+  /// keys); exposed for tests and custom drivers.
+  static ScenarioResult run_scenario(const Scenario& sc, ArtifactCache& cache);
+
+  [[nodiscard]] ArtifactCache& cache() { return cache_; }
+
+ private:
+  CampaignConfig cfg_;
+  ArtifactCache cache_;
+};
+
+/// Worker-thread count from the DNND_THREADS env var (0/unset = hardware
+/// concurrency) -- the knob the bench binaries expose.
+usize env_threads();
+
+}  // namespace dnnd::harness

@@ -1,0 +1,319 @@
+#include "harness/registry.hpp"
+
+#include <algorithm>
+
+namespace dnnd::harness {
+
+namespace {
+
+/// Bench-compatible epoch shrink (bench_util::train_model small mode).
+usize scaled_epochs(bool small, usize epochs) {
+  return small ? std::max<usize>(2, epochs / 2) : epochs;
+}
+
+std::string gen_slug(dram::DeviceGen gen) {
+  switch (gen) {
+    case dram::DeviceGen::kDdr3Old: return "ddr3-old";
+    case dram::DeviceGen::kDdr3New: return "ddr3-new";
+    case dram::DeviceGen::kDdr4Old: return "ddr4-old";
+    case dram::DeviceGen::kDdr4New: return "ddr4-new";
+    case dram::DeviceGen::kLpddr4Old: return "lpddr4-old";
+    case dram::DeviceGen::kLpddr4New: return "lpddr4-new";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<Scenario> table3_scenarios(bool small) {
+  const usize attack_batch = small ? 24 : 32;
+  const usize eval_batch = small ? 120 : 300;
+  const usize bfa_budget = small ? 60 : 120;
+  const usize binary_budget = small ? 80 : 200;
+  const usize hw_attempts = small ? 12 : 30;
+  // The legacy serial bench ran every hardware row on ProtectedSystem's
+  // default seed; pin it so migrated results match bit-for-bit.
+  const u64 legacy_hw_seed = 0x5E55;
+
+  const TrainSpec base{.arch = "resnet20", .width_mult = 1,
+                       .epochs = scaled_epochs(small, 6), .seed = 1};
+  const TrainSpec wide{.arch = "resnet20", .width_mult = 2,
+                       .epochs = scaled_epochs(small, 5), .seed = 2};
+
+  auto common = [&](Scenario sc) {
+    sc.dataset = DatasetKind::kCifar10Like;
+    sc.attack_batch = attack_batch;
+    sc.eval_batch = eval_batch;
+    return sc;
+  };
+
+  std::vector<Scenario> grid;
+
+  {
+    Scenario sc;
+    sc.id = "table3/baseline";
+    sc.label = "Baseline ResNet-20 (8-bit)";
+    sc.train = base;
+    sc.attack = AttackKind::kBfa;
+    sc.max_flips = bfa_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/weight-reconstruction";
+    sc.label = "Weight Reconstruction";
+    sc.train = base;
+    sc.attack = AttackKind::kBfa;
+    sc.reconstruction_guard = true;
+    sc.defense = "weight-reconstruction";
+    sc.max_flips = bfa_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/binary";
+    sc.label = "Binary weight";
+    sc.train = base;
+    sc.attack = AttackKind::kBinaryBfa;
+    sc.prep = SoftwarePrep::kBinaryFinetune;
+    sc.prep_epochs = small ? 2 : 4;
+    sc.prep_lr = 0.02;
+    sc.defense = "binary-weight";
+    sc.max_flips = binary_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/piecewise";
+    sc.label = "Piece-wise Clustering";
+    sc.train = base;
+    sc.attack = AttackKind::kBfa;
+    sc.prep = SoftwarePrep::kPiecewiseClustering;
+    sc.prep_epochs = small ? 1 : 2;
+    sc.prep_lr = 0.01;
+    sc.prep_lambda = 0.15;
+    sc.defense = "piecewise-clustering";
+    sc.max_flips = bfa_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/capacity-x4";
+    sc.label = "Model Capacity x4";
+    sc.train = wide;
+    sc.attack = AttackKind::kBfa;
+    sc.defense = "capacity-x4";
+    sc.max_flips = bfa_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/ra-bnn";
+    sc.label = "RA-BNN (binary, wide)";
+    sc.train = wide;
+    sc.attack = AttackKind::kBinaryBfa;
+    sc.prep = SoftwarePrep::kBinaryFinetune;
+    sc.prep_epochs = small ? 2 : 4;
+    sc.prep_lr = 0.02;
+    sc.defense = "ra-bnn";
+    sc.max_flips = binary_budget;
+    grid.push_back(common(sc));
+  }
+
+  for (const char* name : {"rrs", "srs", "shadow"}) {
+    Scenario sc;
+    sc.id = std::string("table3/") + name;
+    sc.label = name;
+    std::transform(sc.label.begin(), sc.label.end(), sc.label.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    sc.train = base;
+    sc.attack = AttackKind::kDramWhiteBox;
+    sc.mitigation = mitigation_factory(name);
+    sc.defense = sc.label;
+    sc.dram = dram::DramConfig::nn_scaled();
+    sc.hw_attempts = hw_attempts;
+    sc.seed_override = legacy_hw_seed;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "table3/dnn-defender";
+    sc.label = "DNN-Defender";
+    sc.train = base;
+    sc.attack = AttackKind::kDramWhiteBox;
+    sc.use_dnn_defender = true;
+    sc.profile_bits = 2 * hw_attempts;
+    sc.defense = "DNN-Defender";
+    sc.dram = dram::DramConfig::nn_scaled();
+    sc.hw_attempts = hw_attempts;
+    sc.seed_override = legacy_hw_seed;
+    grid.push_back(common(sc));
+  }
+
+  return grid;
+}
+
+std::vector<Scenario> fig1b_scenarios(bool small) {
+  const usize attack_batch = small ? 24 : 32;
+  const usize eval_batch = small ? 120 : 300;
+  const usize bfa_budget = small ? 15 : 30;
+  const usize random_budget = small ? 60 : 150;
+
+  const TrainSpec spec{.arch = "resnet34", .width_mult = 1,
+                       .epochs = scaled_epochs(small, 6), .seed = 1};
+
+  auto common = [&](Scenario sc) {
+    sc.dataset = DatasetKind::kImagenetLike;
+    sc.train = spec;
+    sc.attack_batch = attack_batch;
+    sc.eval_batch = eval_batch;
+    return sc;
+  };
+
+  std::vector<Scenario> grid;
+  {
+    Scenario sc;
+    sc.id = "fig1b/bfa";
+    sc.label = "Targeted BFA";
+    sc.attack = AttackKind::kBfa;
+    sc.record_trace = true;
+    sc.max_flips = bfa_budget;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "fig1b/random";
+    sc.label = "Random attack";
+    sc.attack = AttackKind::kRandom;
+    sc.max_flips = random_budget;
+    sc.measure_every = 10;
+    sc.seed_override = 3;  // the legacy bench's Rng seed
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "fig1b/dnn-defender";
+    sc.label = "DNN-Defender (full coverage)";
+    sc.attack = AttackKind::kAdaptive;
+    sc.secure_all_weight_rows = true;
+    sc.defense = "DNN-Defender";
+    sc.dram = dram::DramConfig::nn_scaled();
+    sc.max_flips = random_budget;
+    sc.measure_every = 10;
+    grid.push_back(common(sc));
+  }
+  return grid;
+}
+
+std::vector<Scenario> tiny_test_grid() {
+  const TrainSpec mlp{.arch = "mlp", .width_mult = 1, .epochs = 5, .seed = 7};
+
+  auto common = [&](Scenario sc) {
+    sc.dataset = DatasetKind::kTinyEasy;
+    sc.train = mlp;
+    sc.attack_batch = 32;
+    sc.eval_batch = 60;
+    return sc;
+  };
+
+  std::vector<Scenario> grid;
+  {
+    Scenario sc;
+    sc.id = "tiny/bfa";
+    sc.attack = AttackKind::kBfa;
+    sc.record_trace = true;
+    sc.max_flips = 8;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/weight-reconstruction";
+    sc.attack = AttackKind::kBfa;
+    sc.reconstruction_guard = true;
+    sc.defense = "weight-reconstruction";
+    sc.max_flips = 8;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/binary";
+    sc.attack = AttackKind::kBinaryBfa;
+    sc.prep = SoftwarePrep::kBinaryFinetune;
+    sc.prep_epochs = 1;
+    sc.defense = "binary-weight";
+    sc.max_flips = 12;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/random";
+    sc.attack = AttackKind::kRandom;
+    sc.max_flips = 40;
+    sc.measure_every = 10;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/adaptive";
+    sc.attack = AttackKind::kAdaptive;
+    sc.secure_all_weight_rows = true;
+    sc.defense = "DNN-Defender";
+    sc.max_flips = 16;
+    sc.measure_every = 8;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/hw-rrs";
+    sc.attack = AttackKind::kDramWhiteBox;
+    sc.mitigation = mitigation_factory("rrs");
+    sc.defense = "RRS";
+    sc.hw_attempts = 6;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/hw-dnn-defender";
+    sc.attack = AttackKind::kDramWhiteBox;
+    sc.use_dnn_defender = true;
+    sc.profile_bits = 12;
+    sc.defense = "DNN-Defender";
+    sc.hw_attempts = 6;
+    grid.push_back(common(sc));
+  }
+  return grid;
+}
+
+std::vector<Scenario> enumerate_grid(const GridSpec& spec) {
+  std::vector<Scenario> grid;
+  for (const auto& model : spec.models) {
+    for (const auto gen : spec.generations) {
+      for (const auto& defense : spec.defenses) {
+        Scenario sc;
+        sc.id = "grid/" + model + "/" + gen_slug(gen) + "/" + defense;
+        sc.label = model + " + " + defense + " @ " + dram::to_string(gen);
+        sc.dataset = spec.dataset;
+        sc.train = TrainSpec{.arch = model, .width_mult = 1,
+                             .epochs = scaled_epochs(spec.small, 6), .seed = 1};
+        sc.attack = AttackKind::kDramWhiteBox;
+        sc.defense = defense;
+        if (defense == "dnn-defender") {
+          sc.use_dnn_defender = true;
+          sc.profile_bits = spec.small ? 24 : 60;
+        } else if (defense != "none") {
+          sc.mitigation = mitigation_factory(defense);
+        }
+        sc.dram = dram::DramConfig::nn_scaled();
+        sc.dram.gen = gen;
+        sc.dram.t_rh = dram::rowhammer_threshold(gen);
+        sc.attack_batch = spec.small ? 24 : 32;
+        sc.eval_batch = spec.small ? 120 : 300;
+        sc.hw_attempts = spec.small ? 12 : 30;
+        grid.push_back(std::move(sc));
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace dnnd::harness

@@ -1,0 +1,46 @@
+// Scenario registry: enumerates the paper's evaluation grids as Scenario
+// lists for CampaignRunner.
+//
+// table3_scenarios / fig1b_scenarios reproduce the exact cells (labels,
+// budgets, seeds) of the corresponding paper tables/figures -- the bench
+// binaries are thin drivers over these. enumerate_grid() builds arbitrary
+// attack x defense x model x DramConfig cross-products for wider sweeps, and
+// tiny_test_grid() is a seconds-fast grid covering every attack path for the
+// determinism regression tests.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace dnnd::harness {
+
+/// Table 3: DNN-Defender vs software & hardware BFA defenses (ResNet-20 on
+/// the CIFAR-10 stand-in). `small` mirrors DNND_BENCH_SCALE=small budgets.
+std::vector<Scenario> table3_scenarios(bool small);
+
+/// Fig. 1(b): targeted BFA vs random flipping vs a full-coverage
+/// DNN-Defender deployment (ResNet-34 on the ImageNet stand-in).
+std::vector<Scenario> fig1b_scenarios(bool small);
+
+/// Fast all-paths grid (tiny MLP, easy data): one scenario per attack kind
+/// plus software- and hardware-defended variants. Used by test_harness.
+std::vector<Scenario> tiny_test_grid();
+
+/// Cross-product sweep specification (the paper's evaluation shape:
+/// models x device generations x defenses, all attacked through DRAM).
+struct GridSpec {
+  std::vector<std::string> models = {"vgg11", "resnet18", "resnet20", "resnet34"};
+  std::vector<dram::DeviceGen> generations = {dram::DeviceGen::kLpddr4New};
+  /// "none", "para", "rrs", "srs", "shadow", "graphene", "hydra",
+  /// "dnn-defender".
+  std::vector<std::string> defenses = {"none", "rrs", "srs", "shadow", "dnn-defender"};
+  DatasetKind dataset = DatasetKind::kCifar10Like;
+  bool small = true;
+};
+
+/// Enumerates the full cross product of a GridSpec as kDramWhiteBox
+/// scenarios with stable ids ("grid/<model>/<gen>/<defense>").
+std::vector<Scenario> enumerate_grid(const GridSpec& spec);
+
+}  // namespace dnnd::harness

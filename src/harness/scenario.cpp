@@ -1,0 +1,95 @@
+#include "harness/scenario.hpp"
+
+#include <stdexcept>
+
+#include "defense/counter_based.hpp"
+#include "defense/para.hpp"
+#include "defense/rrs.hpp"
+#include "defense/shadow.hpp"
+#include "defense/srs.hpp"
+
+namespace dnnd::harness {
+
+u64 scenario_seed(const Scenario& sc) {
+  if (sc.seed_override != 0) return sc.seed_override;
+  return sys::stable_hash64(sc.id);
+}
+
+std::string to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kBfa: return "bfa";
+    case AttackKind::kBinaryBfa: return "binary-bfa";
+    case AttackKind::kRandom: return "random";
+    case AttackKind::kAdaptive: return "adaptive";
+    case AttackKind::kDramWhiteBox: return "dram-white-box";
+  }
+  return "unknown";
+}
+
+std::string to_string(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like: return "cifar10-like";
+    case DatasetKind::kImagenetLike: return "imagenet-like";
+    case DatasetKind::kTinyEasy: return "tiny-easy";
+  }
+  return "unknown";
+}
+
+nn::SynthSpec dataset_spec(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar10Like: return nn::SynthSpec::cifar10_like();
+    case DatasetKind::kImagenetLike: return nn::SynthSpec::imagenet_like();
+    case DatasetKind::kTinyEasy: {
+      nn::SynthSpec spec;
+      spec.num_classes = 4;
+      spec.train_per_class = 80;
+      spec.test_per_class = 30;
+      spec.channels = 1;
+      spec.height = 8;
+      spec.width = 8;
+      spec.noise = 0.8;
+      spec.max_shift = 1;
+      spec.seed = 1234;
+      return spec;
+    }
+  }
+  throw std::invalid_argument("unknown DatasetKind");
+}
+
+MitigationFactory mitigation_factory(const std::string& name) {
+  if (name == "para") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::Para>(dev, remap);
+    };
+  }
+  if (name == "rrs") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::Rrs>(dev, remap);
+    };
+  }
+  if (name == "srs") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::Srs>(dev, remap);
+    };
+  }
+  if (name == "shadow") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::Shadow>(dev, remap);
+    };
+  }
+  if (name == "graphene") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::CounterBased>(dev, remap,
+                                                     defense::CounterBased::graphene());
+    };
+  }
+  if (name == "hydra") {
+    return [](dram::DramDevice& dev, dram::RowRemapper& remap) {
+      return std::make_unique<defense::CounterBased>(dev, remap,
+                                                     defense::CounterBased::hydra());
+    };
+  }
+  throw std::invalid_argument("unknown mitigation: " + name);
+}
+
+}  // namespace dnnd::harness

@@ -1,0 +1,62 @@
+// Minimal deterministic JSON writer for campaign result export. Output is
+// byte-stable for identical values (fixed number formatting, insertion-order
+// keys), which the harness determinism tests rely on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "sys/types.hpp"
+
+namespace dnnd::sys {
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/// Formats a double with round-trip-stable "%.10g" formatting.
+std::string json_number(double v);
+
+/// Streaming JSON builder. Commas and key/value separators are managed
+/// automatically; keys appear in insertion order.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a member inside an object; follow with a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// Any integer type (usize, u32, i64, ...). A single template avoids
+  /// overload ambiguity on platforms where size_t is a distinct type from
+  /// uint64_t.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    comma_if_needed();
+    if constexpr (std::is_signed_v<T>) {
+      out_ += std::to_string(static_cast<long long>(v));
+    } else {
+      out_ += std::to_string(static_cast<unsigned long long>(v));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< per open container
+};
+
+}  // namespace dnnd::sys

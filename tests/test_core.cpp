@@ -279,6 +279,64 @@ TEST_F(DefenderFixture, StagingDisabledStillProtects) {
   EXPECT_EQ(dd.swap_stats().staged_swaps, 0u);
 }
 
+TEST_F(DefenderFixture, ZeroTargetsIsFeasibleAndInert) {
+  DnnDefender dd(dev_, remap_);
+  dd.set_protected_rows({}, {});
+  EXPECT_TRUE(dd.schedule_feasible());
+  EXPECT_EQ(dd.swap_interval(), 0);
+  dev_.advance(10_ms);
+  dd.tick();
+  dev_.advance(10_ms);
+  dd.tick();
+  EXPECT_EQ(dd.swap_stats().swaps, 0u);
+  EXPECT_EQ(dd.stats().maintenance_ops, 0u);
+  EXPECT_TRUE(remap_.is_identity());
+}
+
+TEST_F(DefenderFixture, InfeasibleScheduleTicksBestEffort) {
+  DnnDefender dd(dev_, remap_);
+  // More targets than the hammer window has swap slots for: the schedule is
+  // infeasible and the defender degrades to best-effort at the rate limit.
+  const u64 budget = max_protected_rows(cfg_.timing, cfg_.t_rh);
+  std::vector<RowAddr> targets;
+  std::vector<RowAddr> non_targets;
+  for (u32 bank = 0; bank < cfg_.geo.banks && targets.size() <= 2 * budget; ++bank) {
+    for (u32 sa = 0; sa < cfg_.geo.subarrays_per_bank; ++sa) {
+      for (u32 row = 0; row + 8 < cfg_.geo.rows_per_subarray; row += 2) {
+        targets.push_back({bank, sa, row});
+        non_targets.push_back({bank, sa, row + 1});
+      }
+    }
+  }
+  ASSERT_GT(targets.size(), budget);
+  dd.set_protected_rows(targets, non_targets);
+  EXPECT_FALSE(dd.schedule_feasible());
+  EXPECT_EQ(dd.swap_interval(), cfg_.timing.t_swap()) << "best-effort at the rate limit";
+  // Must make forward progress without faulting or spinning forever.
+  dev_.advance(cfg_.timing.t_act * cfg_.t_rh / 4);
+  dd.tick();
+  EXPECT_GT(dd.swap_stats().swaps, 0u);
+  dev_.advance(cfg_.timing.t_act * cfg_.t_rh / 4);
+  dd.tick();
+  EXPECT_GT(dd.stats().maintenance_ops, 1u);
+}
+
+TEST_F(DefenderFixture, StagingDisabledAblationTicksCleanly) {
+  DnnDefenderConfig dcfg;
+  dcfg.enable_staging = false;
+  DnnDefender dd(dev_, remap_, dcfg);
+  dd.set_protected_rows({{0, 0, 10}, {0, 1, 10}}, {{0, 0, 20}, {0, 1, 20}});
+  EXPECT_TRUE(dd.schedule_feasible());
+  const Picoseconds window = cfg_.timing.t_act * cfg_.t_rh;
+  dev_.advance(window);
+  dd.tick();
+  EXPECT_GE(dd.swap_stats().swaps, 2u);
+  // The ablation never reuses a staged row: all swaps run cold.
+  EXPECT_EQ(dd.swap_stats().staged_swaps, 0u);
+  EXPECT_EQ(dd.swap_stats().cold_swaps, dd.swap_stats().swaps);
+  EXPECT_GT(dd.stats().time_spent, 0);
+}
+
 // --------------------------------------------------------- PriorityProfiler --
 
 class ProfilerFixture : public ::testing::Test {

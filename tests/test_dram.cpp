@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "dram/dram_device.hpp"
 #include "dram/row_remapper.hpp"
+#include "sys/rng.hpp"
 
 namespace dnnd::dram {
 namespace {
@@ -258,6 +261,31 @@ TEST(Remapper, DoubleSwapRestoresIdentity) {
   remap.swap_logical(a, b);
   remap.swap_logical(a, b);
   EXPECT_TRUE(remap.is_identity());
+}
+
+// Property: after ANY sequence of swaps, the mapping stays a bijection and
+// logical->physical->logical round-trips for every row (both directions).
+TEST(Remapper, RoundTripsAfterArbitrarySwapSequence) {
+  const Geometry geo = DramConfig::sim_small().geo;
+  RowRemapper remap(geo);
+  sys::Rng rng(0xC0FFEE);
+  const usize n_swaps = 500;
+  for (usize i = 0; i < n_swaps; ++i) {
+    const RowAddr a = unflatten_row_id(geo, rng.uniform(geo.total_rows()));
+    const RowAddr b = unflatten_row_id(geo, rng.uniform(geo.total_rows()));
+    remap.swap_logical(a, b);
+  }
+  EXPECT_EQ(remap.swap_count(), n_swaps);
+  std::set<u64> backing;
+  for (u64 id = 0; id < geo.total_rows(); ++id) {
+    const RowAddr logical = unflatten_row_id(geo, id);
+    const RowAddr phys = remap.to_physical(logical);
+    EXPECT_EQ(remap.to_logical(phys), logical) << "row " << id;
+    EXPECT_EQ(remap.to_physical(remap.to_logical(logical)), logical) << "row " << id;
+    EXPECT_TRUE(backing.insert(flat_row_id(geo, phys)).second)
+        << "physical row backs two logical rows";
+  }
+  EXPECT_EQ(backing.size(), geo.total_rows());
 }
 
 TEST(Remapper, ChainedSwapsComposeCorrectly) {

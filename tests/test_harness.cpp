@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "harness/campaign.hpp"
+#include "harness/registry.hpp"
+#include "sys/json.hpp"
+
+namespace dnnd::harness {
+namespace {
+
+TEST(Scenario, SeedDerivesFromIdNotThreadOrder) {
+  Scenario a;
+  a.id = "grid/resnet20/lpddr4-new/rrs";
+  Scenario b;
+  b.id = "grid/resnet20/lpddr4-new/srs";
+  EXPECT_EQ(scenario_seed(a), sys::stable_hash64(a.id));
+  EXPECT_NE(scenario_seed(a), scenario_seed(b)) << "distinct ids must give distinct seeds";
+  a.seed_override = 42;
+  EXPECT_EQ(scenario_seed(a), 42u);
+}
+
+TEST(Registry, GridsEnumerateWithUniqueIds) {
+  for (const bool small : {true, false}) {
+    const auto t3 = table3_scenarios(small);
+    EXPECT_EQ(t3.size(), 10u) << "paper Table 3 has 10 rows";
+    const auto f1b = fig1b_scenarios(small);
+    EXPECT_EQ(f1b.size(), 3u) << "paper Fig. 1(b) has 3 curves";
+    std::set<std::string> ids;
+    for (const auto& sc : t3) EXPECT_TRUE(ids.insert(sc.id).second) << sc.id;
+    for (const auto& sc : f1b) EXPECT_TRUE(ids.insert(sc.id).second) << sc.id;
+  }
+  GridSpec spec;
+  spec.models = {"resnet20", "vgg11"};
+  spec.generations = {dram::DeviceGen::kLpddr4New, dram::DeviceGen::kDdr4New};
+  spec.defenses = {"none", "rrs", "dnn-defender"};
+  const auto grid = enumerate_grid(spec);
+  EXPECT_EQ(grid.size(), 2u * 2u * 3u);
+  std::set<std::string> ids;
+  for (const auto& sc : grid) {
+    EXPECT_TRUE(ids.insert(sc.id).second) << "duplicate id " << sc.id;
+    EXPECT_EQ(sc.attack, AttackKind::kDramWhiteBox);
+  }
+}
+
+TEST(Registry, UnknownMitigationThrows) {
+  EXPECT_THROW(mitigation_factory("prince-of-persia"), std::invalid_argument);
+}
+
+TEST(Campaign, ScenarioErrorsAreCapturedNotThrown) {
+  Scenario sc;
+  sc.id = "bad/unknown-arch";
+  sc.dataset = DatasetKind::kTinyEasy;
+  sc.train = TrainSpec{.arch = "no-such-arch", .width_mult = 1, .epochs = 1, .seed = 1};
+  CampaignRunner runner(CampaignConfig{.threads = 1});
+  const auto res = runner.run({sc});
+  ASSERT_EQ(res.results.size(), 1u);
+  EXPECT_FALSE(res.results[0].ok);
+  EXPECT_FALSE(res.results[0].error.empty());
+  // Reporting still works on a failed campaign.
+  EXPECT_NE(res.table().to_string().find("ERROR"), std::string::npos);
+  EXPECT_NE(res.to_json().find("\"ok\":false"), std::string::npos);
+}
+
+TEST(Json, WriterShapesAreWellFormed) {
+  sys::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("a \"quoted\"\nstring");
+  w.key("pi").value(3.25);
+  w.key("n").value(static_cast<u64>(7));
+  w.key("list").begin_array().value(1.0).value(2.0).end_array();
+  w.key("nested").begin_object().key("ok").value(true).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a \\\"quoted\\\"\\nstring\",\"pi\":3.25,\"n\":7,"
+            "\"list\":[1,2],\"nested\":{\"ok\":true}}");
+}
+
+// The tentpole regression: the same scenario grid must yield byte-identical
+// result tables and JSON for every thread count -- results depend on scenario
+// ids (seeds) and budgets, never on the schedule that executed them.
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const auto grid = tiny_test_grid();
+  ASSERT_GE(grid.size(), 5u) << "grid should cover every attack path";
+
+  std::vector<usize> thread_counts = {1, 4,
+                                      std::max<usize>(1, std::thread::hardware_concurrency())};
+  std::vector<std::string> tables;
+  std::vector<std::string> jsons;
+  for (const usize threads : thread_counts) {
+    CampaignRunner runner(CampaignConfig{.threads = threads});
+    const auto res = runner.run(grid);
+    ASSERT_EQ(res.results.size(), grid.size());
+    for (usize i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(res.results[i].id, grid[i].id) << "result order must match input order";
+      EXPECT_TRUE(res.results[i].ok) << res.results[i].id << ": " << res.results[i].error;
+    }
+    tables.push_back(res.table().to_string());
+    jsons.push_back(res.to_json());
+  }
+  for (usize i = 1; i < thread_counts.size(); ++i) {
+    EXPECT_EQ(tables[0], tables[i])
+        << "table differs between 1 thread and " << thread_counts[i] << " threads";
+    EXPECT_EQ(jsons[0], jsons[i])
+        << "JSON differs between 1 thread and " << thread_counts[i] << " threads";
+  }
+}
+
+TEST(Campaign, RepeatedRunsOnWarmCacheAreIdentical) {
+  // Two runs through the SAME runner (second run hits the artifact cache):
+  // cached artifacts must be indistinguishable from freshly built ones.
+  const auto grid = tiny_test_grid();
+  CampaignRunner runner(CampaignConfig{.threads = 2});
+  const auto first = runner.run(grid);
+  const auto second = runner.run(grid);
+  EXPECT_EQ(first.to_json(), second.to_json());
+}
+
+TEST(Campaign, ByIdLooksUpAndThrows) {
+  CampaignResult res;
+  ScenarioResult r;
+  r.id = "x";
+  res.results.push_back(r);
+  EXPECT_EQ(res.by_id("x").id, "x");
+  EXPECT_THROW(res.by_id("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dnnd::harness
