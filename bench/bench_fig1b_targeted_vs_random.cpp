@@ -4,10 +4,12 @@
 //
 // Driven by the scenario-sweep harness (harness::fig1b_scenarios); the three
 // curves run as independent scenarios on a thread pool (DNND_THREADS env
-// var). Results are deterministic regardless of thread count.
+// var). Results are deterministic regardless of thread count; DNND_JSON=1 /
+// DNND_JSON_OUT=<path> persist the campaign through a sink.
 #include "bench_util.hpp"
 #include "harness/campaign.hpp"
 #include "harness/registry.hpp"
+#include "harness/sink.hpp"
 
 using namespace dnnd;
 
@@ -59,5 +61,6 @@ int main() {
       "the random level (flat curve).\n");
   std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
               campaign.threads_used, campaign.total_seconds);
+  harness::write_campaign_from_env(campaign);
   return 0;
 }

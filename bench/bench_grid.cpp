@@ -1,0 +1,155 @@
+// bench_grid: sweeps the full evaluation cross product -- attack kind x
+// software prep x defense x model x device generation -- through the parallel
+// scenario harness, prints the campaign table, and persists the campaign
+// JSON through the configured CampaignSink (DNND_JSON / DNND_JSON_OUT).
+//
+// Axes default to the paper-shaped grid and are overridable with
+// comma-separated env lists (defaults in parentheses, wider accepted
+// vocabulary after "of"):
+//   DNND_GRID_MODELS   (vgg11,resnet18,resnet20,resnet34)
+//   DNND_GRID_GENS     (lpddr4-new,ddr4-new) of any device_gen_slug value
+//   DNND_GRID_ATTACKS  (bfa,binary-bfa,random,adaptive,dram-white-box)
+//   DNND_GRID_PREPS    (none,binary-finetune,piecewise-clustering,
+//                       reconstruction-guard)
+//   DNND_GRID_DEFENSES (none,rrs,srs,shadow,dnn-defender) of none, para,
+//                       rrs, srs, shadow, graphene, hydra, dnn-defender
+//   DNND_GRID_FULL_PRODUCT=1 keeps cells whose defense cannot engage the
+//                            attack (normally pruned).
+//
+// `bench_grid --tiny` (or DNND_GRID=tiny) runs the seconds-fast
+// tiny_test_grid() instead -- the grid behind the committed regression
+// baseline that CI gates with dnnd_diff.
+#include <cstring>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "harness/campaign.hpp"
+#include "harness/registry.hpp"
+#include "harness/sink.hpp"
+
+using namespace dnnd;
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Overrides `axis` with the env var's comma-separated list when set.
+void override_axis(const char* env, std::vector<std::string>& axis) {
+  if (const char* v = std::getenv(env); v != nullptr && v[0] != '\0') {
+    axis = split_csv(v);
+  }
+}
+
+harness::GridSpec grid_spec_from_env(bool small) {
+  harness::GridSpec spec;
+  spec.small = small;
+  spec.generations = {dram::DeviceGen::kLpddr4New, dram::DeviceGen::kDdr4New};
+  spec.attacks.assign(std::begin(harness::kAllAttackKinds),
+                      std::end(harness::kAllAttackKinds));
+  spec.preps = {"none", "binary-finetune", "piecewise-clustering", "reconstruction-guard"};
+
+  override_axis("DNND_GRID_MODELS", spec.models);
+  override_axis("DNND_GRID_PREPS", spec.preps);
+  override_axis("DNND_GRID_DEFENSES", spec.defenses);
+  if (const char* v = std::getenv("DNND_GRID_GENS"); v != nullptr && v[0] != '\0') {
+    spec.generations.clear();
+    for (const auto& slug : split_csv(v)) {
+      spec.generations.push_back(harness::device_gen_from_slug(slug));
+    }
+  }
+  if (const char* v = std::getenv("DNND_GRID_ATTACKS"); v != nullptr && v[0] != '\0') {
+    spec.attacks.clear();
+    for (const auto& slug : split_csv(v)) {
+      spec.attacks.push_back(harness::attack_kind_from_string(slug));
+    }
+  }
+  if (const char* v = std::getenv("DNND_GRID_FULL_PRODUCT"); v != nullptr && v[0] == '1') {
+    spec.prune_incoherent = false;
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      tiny = true;
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\n"
+                   "usage: bench_grid [--tiny]\n"
+                   "  --tiny  run the seconds-fast tiny_test_grid() (CI baseline)\n"
+                   "  axes/env knobs are documented in the header comment and README\n",
+                   argv[0], argv[i]);
+      return 2;
+    }
+  }
+  if (const char* v = std::getenv("DNND_GRID"); v != nullptr && std::string(v) == "tiny") {
+    tiny = true;
+  }
+
+  const bool small = bench::small_scale();
+  std::vector<harness::Scenario> grid;
+  if (tiny) {
+    bench::banner("Grid sweep -- tiny regression grid",
+                  "tiny_test_grid(): every attack path in seconds (CI baseline)");
+    grid = harness::tiny_test_grid();
+  } else {
+    bench::banner("Grid sweep -- attack x prep x defense x model x generation",
+                  "full cross-product sweep of the paper's evaluation axes");
+    try {
+      grid = harness::enumerate_grid(grid_spec_from_env(small));
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "bench_grid: bad axis value: %s\n", e.what());
+      return 2;
+    }
+  }
+  std::printf("[grid] %zu scenarios\n", grid.size());
+
+  harness::CampaignConfig cfg;
+  cfg.threads = harness::env_threads();
+  cfg.verbose = true;
+  harness::CampaignRunner runner(cfg);
+  const auto campaign = runner.run(grid);
+
+  campaign.table().print();
+  std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
+              campaign.threads_used, campaign.total_seconds);
+
+  // A sink failure after an hours-long sweep must not abort: the table above
+  // already carries the results. It still fails the run -- CI gates on the
+  // persisted JSON existing.
+  usize failures = 0;
+  std::string destination;
+  switch (harness::write_campaign_from_env(campaign, &destination)) {
+    case harness::SinkWriteStatus::kNoSink:
+      break;
+    case harness::SinkWriteStatus::kWritten:
+      if (destination != "stdout") {
+        std::printf("[sink] campaign JSON -> %s\n", destination.c_str());
+      }
+      break;
+    case harness::SinkWriteStatus::kFailed:
+      ++failures;  // already reported on stderr
+      break;
+  }
+
+  // A failed scenario is a broken sweep, not a defended model -- surface it.
+  for (const auto& r : campaign.results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "[grid] FAILED %s: %s\n", r.id.c_str(), r.error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -6,10 +6,12 @@
 // Driven by the scenario-sweep harness: the grid comes from
 // harness::table3_scenarios and runs on a thread pool (DNND_THREADS env var,
 // default = hardware concurrency). Results are deterministic regardless of
-// thread count; set DNND_JSON=1 to dump the structured results as JSON.
+// thread count; set DNND_JSON=1 to dump the structured results as JSON to
+// stdout, or DNND_JSON_OUT=<path> to persist them through a file sink.
 #include "bench_util.hpp"
 #include "harness/campaign.hpp"
 #include "harness/registry.hpp"
+#include "harness/sink.hpp"
 
 using namespace dnnd;
 
@@ -39,8 +41,6 @@ int main() {
       "the clean level with zero training overhead.\n");
   std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
               campaign.threads_used, campaign.total_seconds);
-  if (const char* dump = std::getenv("DNND_JSON"); dump != nullptr && dump[0] == '1') {
-    std::printf("%s\n", campaign.to_json().c_str());
-  }
+  harness::write_campaign_from_env(campaign);
   return 0;
 }

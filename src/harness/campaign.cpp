@@ -309,4 +309,38 @@ usize env_threads() {
   return n > 0 ? static_cast<usize>(n) : 0;
 }
 
+CampaignResult campaign_from_json(std::string_view json) {
+  const sys::JsonValue doc = sys::parse_json(json);
+  static const sys::JsonValue kZero = sys::JsonValue::number(0.0);
+  static const sys::JsonValue kEmpty = sys::JsonValue::string("");
+
+  CampaignResult out;
+  out.threads_used = doc.contains("threads") ? static_cast<usize>(doc.at("threads").as_u64()) : 1;
+  out.total_seconds = doc.get_or("total_seconds", kZero).as_double();
+
+  for (const sys::JsonValue& s : doc.at("scenarios").items()) {
+    ScenarioResult r;
+    r.id = s.at("id").as_string();
+    r.label = s.at("label").as_string();
+    r.model = s.at("model").as_string();
+    r.defense = s.at("defense").as_string();
+    r.attack = s.at("attack").as_string();
+    r.ok = s.at("ok").as_bool();
+    r.error = s.get_or("error", kEmpty).as_string();
+    r.clean_accuracy = s.at("clean_accuracy").as_double();
+    r.post_accuracy = s.at("post_accuracy").as_double();
+    r.flips = s.at("flips").as_string();
+    r.attempts = static_cast<usize>(s.at("attempts").as_u64());
+    r.landed = static_cast<usize>(s.at("landed").as_u64());
+    r.blocked = static_cast<usize>(s.at("blocked").as_u64());
+    r.secured_bits = static_cast<usize>(s.at("secured_bits").as_u64());
+    r.secured_rows = static_cast<usize>(s.at("secured_rows").as_u64());
+    r.total_bits = s.at("total_bits").as_u64();
+    for (const sys::JsonValue& v : s.at("trace").items()) r.trace.push_back(v.as_double());
+    r.wall_seconds = s.get_or("wall_seconds", kZero).as_double();
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
 }  // namespace dnnd::harness

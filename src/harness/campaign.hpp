@@ -91,4 +91,12 @@ class CampaignRunner {
 /// concurrency) -- the knob the bench binaries expose.
 usize env_threads();
 
+/// Parses a campaign document produced by CampaignResult::to_json() (with or
+/// without timing fields) back into a CampaignResult, so persisted runs can
+/// be reloaded and diffed. Round-trips byte-exactly when re-serialized with
+/// the matching flag: campaign_from_json(r.to_json()).to_json() == r.to_json()
+/// and campaign_from_json(r.to_json(true)).to_json(true) == r.to_json(true).
+/// Throws sys::JsonParseError on malformed or wrong-shape input.
+CampaignResult campaign_from_json(std::string_view json);
+
 }  // namespace dnnd::harness

@@ -1,6 +1,9 @@
 #include "harness/registry.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "models/model_zoo.hpp"
 
 namespace dnnd::harness {
 
@@ -11,7 +14,11 @@ usize scaled_epochs(bool small, usize epochs) {
   return small ? std::max<usize>(2, epochs / 2) : epochs;
 }
 
-std::string gen_slug(dram::DeviceGen gen) {
+constexpr const char* kReconstructionGuard = "reconstruction-guard";
+
+}  // namespace
+
+std::string device_gen_slug(dram::DeviceGen gen) {
   switch (gen) {
     case dram::DeviceGen::kDdr3Old: return "ddr3-old";
     case dram::DeviceGen::kDdr3New: return "ddr3-new";
@@ -23,7 +30,22 @@ std::string gen_slug(dram::DeviceGen gen) {
   return "unknown";
 }
 
-}  // namespace
+dram::DeviceGen device_gen_from_slug(const std::string& slug) {
+  for (const auto gen : kAllDeviceGens) {
+    if (device_gen_slug(gen) == slug) return gen;
+  }
+  throw std::invalid_argument("unknown device generation: " + slug);
+}
+
+bool is_known_prep_axis(const std::string& prep) {
+  if (prep == kReconstructionGuard) return true;
+  try {
+    software_prep_from_string(prep);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
 
 std::vector<Scenario> table3_scenarios(bool small) {
   const usize attack_batch = small ? 24 : 32;
@@ -284,32 +306,96 @@ std::vector<Scenario> tiny_test_grid() {
   return grid;
 }
 
+bool grid_cell_coherent(AttackKind attack, const std::string& prep,
+                        const std::string& defense) {
+  // The reconstruction guard is only consulted by the plain-BFA attack path.
+  if (prep == kReconstructionGuard && attack != AttackKind::kBfa) return false;
+  if (defense == "none") return true;
+  if (defense == "dnn-defender") {
+    // Profiled deployment runs through the DRAM stack; the full-coverage
+    // secured-bit set is what the adaptive attacker plays against.
+    return attack == AttackKind::kDramWhiteBox || attack == AttackKind::kAdaptive;
+  }
+  // Every other defense is an in-DRAM mitigation: it can only intercept an
+  // attack that actually hammers the device.
+  return attack == AttackKind::kDramWhiteBox;
+}
+
 std::vector<Scenario> enumerate_grid(const GridSpec& spec) {
+  // Validate every axis value up front: a typo'd name must throw even when
+  // pruning (or a run-time per-cell failure) would otherwise hide it.
+  for (const auto& model : spec.models) {
+    if (model != "mlp" && !models::is_known_arch(model)) {
+      throw std::invalid_argument("unknown model axis value: " + model);
+    }
+  }
+  for (const auto& prep : spec.preps) {
+    if (!is_known_prep_axis(prep)) {
+      throw std::invalid_argument("unknown prep axis value: " + prep);
+    }
+  }
+  for (const auto& defense : spec.defenses) {
+    if (defense != "none" && defense != "dnn-defender") {
+      mitigation_factory(defense);  // throws std::invalid_argument on unknown
+    }
+  }
   std::vector<Scenario> grid;
   for (const auto& model : spec.models) {
     for (const auto gen : spec.generations) {
-      for (const auto& defense : spec.defenses) {
-        Scenario sc;
-        sc.id = "grid/" + model + "/" + gen_slug(gen) + "/" + defense;
-        sc.label = model + " + " + defense + " @ " + dram::to_string(gen);
-        sc.dataset = spec.dataset;
-        sc.train = TrainSpec{.arch = model, .width_mult = 1,
-                             .epochs = scaled_epochs(spec.small, 6), .seed = 1};
-        sc.attack = AttackKind::kDramWhiteBox;
-        sc.defense = defense;
-        if (defense == "dnn-defender") {
-          sc.use_dnn_defender = true;
-          sc.profile_bits = spec.small ? 24 : 60;
-        } else if (defense != "none") {
-          sc.mitigation = mitigation_factory(defense);
+      for (const auto attack : spec.attacks) {
+        for (const auto& prep : spec.preps) {
+          for (const auto& defense : spec.defenses) {
+            if (spec.prune_incoherent && !grid_cell_coherent(attack, prep, defense)) {
+              continue;
+            }
+            Scenario sc;
+            sc.id = "grid/" + model + "/" + device_gen_slug(gen) + "/" +
+                    to_string(attack) + "/" + prep + "/" + defense;
+            sc.label = model + " | " + to_string(attack) + " vs " + prep + "+" + defense +
+                       " @ " + dram::to_string(gen);
+            sc.dataset = spec.dataset;
+            sc.train = TrainSpec{.arch = model, .width_mult = 1,
+                                 .epochs = scaled_epochs(spec.small, 6), .seed = 1};
+            sc.attack = attack;
+
+            if (prep == kReconstructionGuard) {
+              sc.reconstruction_guard = true;
+            } else {
+              sc.prep = software_prep_from_string(prep);
+              sc.prep_epochs = spec.small ? 1 : 2;
+            }
+
+            if (defense == "dnn-defender") {
+              if (attack == AttackKind::kAdaptive) {
+                sc.secure_all_weight_rows = true;
+              } else {
+                sc.use_dnn_defender = true;
+                sc.profile_bits = spec.small ? 24 : 60;
+              }
+            } else if (defense != "none") {
+              sc.mitigation = mitigation_factory(defense);
+            }
+            // Display name: the prep and defense halves that are active.
+            if (prep == "none") {
+              sc.defense = defense;
+            } else if (defense == "none") {
+              sc.defense = prep;
+            } else {
+              sc.defense = prep + "+" + defense;
+            }
+
+            sc.dram = dram::DramConfig::nn_scaled();
+            sc.dram.gen = gen;
+            sc.dram.t_rh = dram::rowhammer_threshold(gen);
+            sc.attack_batch = spec.small ? 24 : 32;
+            sc.eval_batch = spec.small ? 120 : 300;
+            sc.max_flips = attack == AttackKind::kRandom ? (spec.small ? 40 : 150)
+                                                         : (spec.small ? 12 : 40);
+            sc.measure_every = 10;
+            sc.hw_attempts = spec.small ? 12 : 30;
+            grid.push_back(std::move(sc));
+          }
         }
-        sc.dram = dram::DramConfig::nn_scaled();
-        sc.dram.gen = gen;
-        sc.dram.t_rh = dram::rowhammer_threshold(gen);
-        sc.attack_batch = spec.small ? 24 : 32;
-        sc.eval_batch = spec.small ? 120 : 300;
-        sc.hw_attempts = spec.small ? 12 : 30;
-        grid.push_back(std::move(sc));
       }
     }
   }

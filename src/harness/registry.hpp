@@ -27,20 +27,58 @@ std::vector<Scenario> fig1b_scenarios(bool small);
 /// plus software- and hardware-defended variants. Used by test_harness.
 std::vector<Scenario> tiny_test_grid();
 
+/// Every device generation, in declaration order (slug round-trips, axis
+/// defaults, exhaustive tests).
+inline constexpr dram::DeviceGen kAllDeviceGens[] = {
+    dram::DeviceGen::kDdr3Old,   dram::DeviceGen::kDdr3New, dram::DeviceGen::kDdr4Old,
+    dram::DeviceGen::kDdr4New,   dram::DeviceGen::kLpddr4Old,
+    dram::DeviceGen::kLpddr4New,
+};
+
+/// URL-ish slug for a device generation ("lpddr4-new"); stable, used inside
+/// grid scenario ids.
+std::string device_gen_slug(dram::DeviceGen gen);
+
+/// Inverse of device_gen_slug; throws std::invalid_argument.
+dram::DeviceGen device_gen_from_slug(const std::string& slug);
+
+/// Software-defense axis value in GridSpec: a SoftwarePrep slug
+/// ("none", "binary-finetune", "piecewise-clustering") or
+/// "reconstruction-guard" (the inference-time clamp of Li et al. DAC'20).
+bool is_known_prep_axis(const std::string& prep);
+
 /// Cross-product sweep specification (the paper's evaluation shape:
-/// models x device generations x defenses, all attacked through DRAM).
+/// attack kind x software prep x defense x model x device generation).
 struct GridSpec {
   std::vector<std::string> models = {"vgg11", "resnet18", "resnet20", "resnet34"};
   std::vector<dram::DeviceGen> generations = {dram::DeviceGen::kLpddr4New};
-  /// "none", "para", "rrs", "srs", "shadow", "graphene", "hydra",
-  /// "dnn-defender".
+  /// Attack-kind axis (any AttackKind; budgets are set per kind).
+  std::vector<AttackKind> attacks = {AttackKind::kDramWhiteBox};
+  /// Software-defense axis; see is_known_prep_axis for the vocabulary.
+  std::vector<std::string> preps = {"none"};
+  /// Hardware/system defense axis: "none", "para", "rrs", "srs", "shadow",
+  /// "graphene", "hydra", "dnn-defender".
   std::vector<std::string> defenses = {"none", "rrs", "srs", "shadow", "dnn-defender"};
   DatasetKind dataset = DatasetKind::kCifar10Like;
   bool small = true;
+  /// Drop cells whose defense cannot engage the attack kind (e.g. a DRAM
+  /// mitigation against a model-level BFA, which never touches the device).
+  /// With false the full cross product is emitted; the inert defense runs as
+  /// a no-op and the cell duplicates its defense="none" sibling.
+  bool prune_incoherent = true;
 };
 
-/// Enumerates the full cross product of a GridSpec as kDramWhiteBox
-/// scenarios with stable ids ("grid/<model>/<gen>/<defense>").
+/// True when `defense` (and the prep axis value) can actually engage
+/// `attack`: DRAM mitigations and profiled DNN-Defender need kDramWhiteBox,
+/// full-coverage DNN-Defender also pairs with kAdaptive, and the
+/// reconstruction guard is only consulted by the kBfa path.
+bool grid_cell_coherent(AttackKind attack, const std::string& prep,
+                        const std::string& defense);
+
+/// Enumerates the cross product of a GridSpec as scenarios with stable ids
+/// ("grid/<model>/<gen>/<attack>/<prep>/<defense>"). Cells failing
+/// grid_cell_coherent are skipped unless spec.prune_incoherent is false.
+/// Throws std::invalid_argument for unknown axis values.
 std::vector<Scenario> enumerate_grid(const GridSpec& spec);
 
 }  // namespace dnnd::harness

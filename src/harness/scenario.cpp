@@ -35,6 +35,29 @@ std::string to_string(DatasetKind kind) {
   return "unknown";
 }
 
+std::string to_string(SoftwarePrep prep) {
+  switch (prep) {
+    case SoftwarePrep::kNone: return "none";
+    case SoftwarePrep::kBinaryFinetune: return "binary-finetune";
+    case SoftwarePrep::kPiecewiseClustering: return "piecewise-clustering";
+  }
+  return "unknown";
+}
+
+AttackKind attack_kind_from_string(const std::string& slug) {
+  for (const AttackKind kind : kAllAttackKinds) {
+    if (to_string(kind) == slug) return kind;
+  }
+  throw std::invalid_argument("unknown attack kind: " + slug);
+}
+
+SoftwarePrep software_prep_from_string(const std::string& slug) {
+  for (const SoftwarePrep prep : kAllSoftwarePreps) {
+    if (to_string(prep) == slug) return prep;
+  }
+  throw std::invalid_argument("unknown software prep: " + slug);
+}
+
 nn::SynthSpec dataset_spec(DatasetKind kind) {
   switch (kind) {
     case DatasetKind::kCifar10Like: return nn::SynthSpec::cifar10_like();

@@ -42,6 +42,19 @@ enum class SoftwarePrep {
   kPiecewiseClustering,   ///< clustering regularizer fine-tune (He et al.)
 };
 
+/// Every enumerator, in declaration order -- the single source for slug
+/// round-trips, axis defaults, and exhaustive tests. A new enum value only
+/// needs to be added here and in its to_string switch.
+inline constexpr AttackKind kAllAttackKinds[] = {
+    AttackKind::kBfa,      AttackKind::kBinaryBfa,     AttackKind::kRandom,
+    AttackKind::kAdaptive, AttackKind::kDramWhiteBox,
+};
+inline constexpr SoftwarePrep kAllSoftwarePreps[] = {
+    SoftwarePrep::kNone,
+    SoftwarePrep::kBinaryFinetune,
+    SoftwarePrep::kPiecewiseClustering,
+};
+
 /// Builds a hardware mitigation wired to a scenario's device. Factories keep
 /// Scenario copyable and let one descriptor instantiate per-run mitigations.
 using MitigationFactory = std::function<std::unique_ptr<defense::Mitigation>(
@@ -111,6 +124,14 @@ u64 scenario_seed(const Scenario& sc);
 
 std::string to_string(AttackKind kind);
 std::string to_string(DatasetKind kind);
+std::string to_string(SoftwarePrep prep);
+
+/// Inverse of to_string(AttackKind); throws std::invalid_argument for
+/// unknown slugs. Used by GridSpec axis parsing (bench_grid env overrides).
+AttackKind attack_kind_from_string(const std::string& slug);
+
+/// Inverse of to_string(SoftwarePrep); throws std::invalid_argument.
+SoftwarePrep software_prep_from_string(const std::string& slug);
 
 /// Synthetic data spec backing a DatasetKind.
 nn::SynthSpec dataset_spec(DatasetKind kind);

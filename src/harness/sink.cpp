@@ -1,0 +1,89 @@
+#include "harness/sink.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dnnd::harness {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_text_file(const std::string& path, const std::string& text) {
+  const fs::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) {
+      throw std::runtime_error("cannot create directory " + p.parent_path().string() + ": " +
+                               ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace
+
+void StdoutSink::write(const CampaignResult& campaign) {
+  std::printf("%s\n", campaign.to_json().c_str());
+}
+
+void FileSink::write(const CampaignResult& campaign) {
+  write_text_file(path_, campaign.to_json() + "\n");
+}
+
+std::string RunDirectorySink::next_path() const {
+  for (usize i = 1; i < 10000; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s-%04zu.json", stem_.c_str(), i);
+    const fs::path candidate = fs::path(dir_) / name;
+    if (!fs::exists(candidate)) return candidate.string();
+  }
+  throw std::runtime_error("run directory full: " + dir_);
+}
+
+void RunDirectorySink::write(const CampaignResult& campaign) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw std::runtime_error("cannot create directory " + dir_ + ": " + ec.message());
+  write_text_file(next_path(), campaign.to_json() + "\n");
+}
+
+std::unique_ptr<CampaignSink> sink_from_env() {
+  if (const char* out = std::getenv("DNND_JSON_OUT"); out != nullptr && out[0] != '\0') {
+    const std::string path(out);
+    if (path.back() == '/' || fs::is_directory(path)) {
+      return std::make_unique<RunDirectorySink>(path);
+    }
+    return std::make_unique<FileSink>(path);
+  }
+  if (const char* dump = std::getenv("DNND_JSON"); dump != nullptr && dump[0] == '1') {
+    return std::make_unique<StdoutSink>();
+  }
+  return nullptr;
+}
+
+SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
+                                        std::string* destination) {
+  const auto sink = sink_from_env();
+  if (!sink) return SinkWriteStatus::kNoSink;
+  if (destination != nullptr) *destination = sink->describe();
+  try {
+    sink->write(campaign);
+  } catch (const std::exception& e) {
+    // Called at the tail of bench mains, after the sweep: losing the whole
+    // run to an unwritable path would be worse than a loud stderr line.
+    std::fprintf(stderr, "[sink] FAILED to persist campaign to %s: %s\n",
+                 sink->describe().c_str(), e.what());
+    return SinkWriteStatus::kFailed;
+  }
+  return SinkWriteStatus::kWritten;
+}
+
+}  // namespace dnnd::harness

@@ -1,0 +1,87 @@
+// CampaignSink: durable destinations for campaign results.
+//
+// A sink receives a finished CampaignResult and persists its deterministic
+// JSON somewhere a later process can reload it (campaign_from_json) and diff
+// it (dnnd_diff). Three concrete sinks: stdout (the legacy DNND_JSON=1
+// behavior, byte-identical), a single file, and a directory that collects one
+// numbered file per run. sink_from_env() wires the env-var protocol the
+// bench binaries share.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "harness/campaign.hpp"
+
+namespace dnnd::harness {
+
+class CampaignSink {
+ public:
+  virtual ~CampaignSink() = default;
+
+  /// Persists one campaign. Throws std::runtime_error on I/O failure.
+  virtual void write(const CampaignResult& campaign) = 0;
+
+  /// Human-readable destination ("stdout", the file path, ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Prints the campaign JSON to stdout followed by a newline -- byte-identical
+/// to the pre-sink `DNND_JSON=1` inline printf in the migrated benches.
+class StdoutSink final : public CampaignSink {
+ public:
+  void write(const CampaignResult& campaign) override;
+  [[nodiscard]] std::string describe() const override { return "stdout"; }
+};
+
+/// Writes the campaign JSON (newline-terminated) to one file, creating
+/// parent directories and truncating any previous content.
+class FileSink final : public CampaignSink {
+ public:
+  explicit FileSink(std::string path) : path_(std::move(path)) {}
+  void write(const CampaignResult& campaign) override;
+  [[nodiscard]] std::string describe() const override { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Collects a directory of runs: each write() lands in the next free
+/// "<stem>-NNNN.json" slot, so successive campaigns accumulate side by side
+/// for cross-run diffing.
+class RunDirectorySink final : public CampaignSink {
+ public:
+  explicit RunDirectorySink(std::string dir, std::string stem = "campaign")
+      : dir_(std::move(dir)), stem_(std::move(stem)) {}
+  void write(const CampaignResult& campaign) override;
+  [[nodiscard]] std::string describe() const override { return dir_ + "/" + stem_ + "-*.json"; }
+
+  /// The path the next write() will use (exposed for tests/logging).
+  [[nodiscard]] std::string next_path() const;
+
+ private:
+  std::string dir_;
+  std::string stem_;
+};
+
+/// Sink selected by the shared bench env protocol:
+///  - DNND_JSON_OUT=<path>  -> FileSink, or RunDirectorySink when <path> is
+///    an existing directory or ends with '/'.
+///  - otherwise DNND_JSON=1 -> StdoutSink (legacy behavior).
+///  - otherwise nullptr (no JSON output requested).
+std::unique_ptr<CampaignSink> sink_from_env();
+
+enum class SinkWriteStatus {
+  kNoSink,   ///< no sink configured in the environment; nothing written
+  kWritten,  ///< campaign persisted successfully
+  kFailed,   ///< sink configured but the write failed (reported on stderr)
+};
+
+/// Convenience for bench drivers: write through sink_from_env() when one is
+/// configured; a no-op otherwise. I/O failures are reported on stderr, not
+/// thrown (the campaign already printed its table; don't abort the bench).
+/// When `destination` is non-null it receives the sink's describe() string.
+SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
+                                        std::string* destination = nullptr);
+
+}  // namespace dnnd::harness

@@ -105,4 +105,8 @@ std::unique_ptr<Model> make_by_name(const std::string& name, usize num_classes, 
   throw std::invalid_argument("make_by_name: unknown architecture " + name);
 }
 
+bool is_known_arch(const std::string& name) {
+  return name == "vgg11" || name == "resnet18" || name == "resnet20" || name == "resnet34";
+}
+
 }  // namespace dnnd::models

@@ -40,4 +40,7 @@ std::unique_ptr<nn::Model> make_test_mlp(usize in_features, usize hidden, usize 
 std::unique_ptr<nn::Model> make_by_name(const std::string& name, usize num_classes, u64 seed,
                                         usize width_mult = 1);
 
+/// True when make_by_name accepts `name` (cheap check, no construction).
+bool is_known_arch(const std::string& name);
+
 }  // namespace dnnd::models

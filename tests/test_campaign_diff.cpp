@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/campaign.hpp"
+#include "harness/campaign_diff.hpp"
+#include "harness/sink.hpp"
+
+namespace dnnd::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioResult make_result(const std::string& id, double clean, double post,
+                           const std::string& flips) {
+  ScenarioResult r;
+  r.id = id;
+  r.label = id;
+  r.model = "mlp";
+  r.defense = "none";
+  r.attack = "bfa";
+  r.ok = true;
+  r.clean_accuracy = clean;
+  r.post_accuracy = post;
+  r.flips = flips;
+  return r;
+}
+
+CampaignResult make_campaign() {
+  CampaignResult c;
+  c.results.push_back(make_result("a/one", 0.95, 0.30, ">12"));
+  c.results.push_back(make_result("a/two", 0.95, 0.80, "8 (3 landed)"));
+  return c;
+}
+
+TEST(LeadingFlipCount, ParsesPaperStyleStrings) {
+  EXPECT_EQ(leading_flip_count(">80"), 80);
+  EXPECT_EQ(leading_flip_count("30 (0 landed)"), 30);
+  EXPECT_EQ(leading_flip_count("12"), 12);
+  EXPECT_EQ(leading_flip_count(""), -1);
+  EXPECT_EQ(leading_flip_count("ERROR: boom"), -1);
+}
+
+TEST(CampaignDiff, IdenticalCampaignsPass) {
+  const auto base = make_campaign();
+  const auto report = diff_campaigns(base, base);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.compared, 2u);
+  EXPECT_TRUE(report.deltas.empty());
+  EXPECT_NE(report.to_string().find("identical"), std::string::npos);
+}
+
+TEST(CampaignDiff, AccuracyDeltaBeyondToleranceIsARegression) {
+  const auto base = make_campaign();
+  auto cur = base;
+  cur.results[1].post_accuracy -= 0.05;
+
+  const auto strict = diff_campaigns(base, cur);
+  EXPECT_FALSE(strict.ok());
+  ASSERT_EQ(strict.deltas.size(), 1u);
+  EXPECT_EQ(strict.deltas[0].id, "a/two");
+  EXPECT_NEAR(strict.deltas[0].post_delta, -0.05, 1e-12);
+  EXPECT_NE(strict.to_string().find("REGRESSION a/two"), std::string::npos);
+
+  // The same delta inside the tolerance is reported but does not fail.
+  const auto tolerant = diff_campaigns(base, cur, DiffConfig{.acc_tol = 0.10});
+  EXPECT_TRUE(tolerant.ok());
+  ASSERT_EQ(tolerant.deltas.size(), 1u);
+  EXPECT_FALSE(tolerant.deltas[0].regression);
+}
+
+TEST(CampaignDiff, FlipCountDeltaHonorsTolerance) {
+  const auto base = make_campaign();
+  auto cur = base;
+  cur.results[0].flips = ">15";
+
+  EXPECT_FALSE(diff_campaigns(base, cur).ok());
+  const auto tolerant = diff_campaigns(base, cur, DiffConfig{.flip_tol = 5});
+  EXPECT_TRUE(tolerant.ok());
+  ASSERT_EQ(tolerant.deltas.size(), 1u);
+  EXPECT_EQ(tolerant.deltas[0].flip_delta, 3);
+}
+
+TEST(CampaignDiff, OkFlagFlipAndTraceDivergenceAreRegressions) {
+  const auto base = make_campaign();
+  auto cur = base;
+  cur.results[0].ok = false;
+  cur.results[0].error = "boom";
+  EXPECT_FALSE(diff_campaigns(base, cur).ok());
+
+  auto traced_base = make_campaign();
+  traced_base.results[0].trace = {0.9, 0.5, 0.2};
+  auto traced_cur = traced_base;
+  traced_cur.results[0].trace[2] = 0.4;
+  EXPECT_FALSE(diff_campaigns(traced_base, traced_cur).ok());
+  EXPECT_TRUE(diff_campaigns(traced_base, traced_cur, DiffConfig{.acc_tol = 0.25}).ok());
+  traced_cur.results[0].trace.push_back(0.1);
+  // A length mismatch is structural: no accuracy tolerance excuses it.
+  EXPECT_FALSE(diff_campaigns(traced_base, traced_cur, DiffConfig{.acc_tol = 0.25}).ok());
+}
+
+TEST(CampaignDiff, MissingScenariosRespectIgnoreMissing) {
+  const auto base = make_campaign();
+  auto cur = base;
+  cur.results.pop_back();
+  cur.results.push_back(make_result("a/new", 0.9, 0.9, "0"));
+
+  const auto strict = diff_campaigns(base, cur);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.regressions, 2u);  // one vanished, one appeared
+
+  const auto loose = diff_campaigns(base, cur, DiffConfig{.ignore_missing = true});
+  EXPECT_TRUE(loose.ok());
+  EXPECT_EQ(loose.deltas.size(), 2u);  // still reported
+}
+
+TEST(CampaignDiff, RoundTripThroughJsonDiffsClean) {
+  auto base = make_campaign();
+  base.results[0].trace = {0.9, 0.5};
+  const std::string json = base.to_json();
+  const auto reloaded = campaign_from_json(json);
+  EXPECT_EQ(reloaded.to_json(), json);
+  EXPECT_TRUE(diff_campaigns(base, reloaded).ok());
+}
+
+// ---- sinks ------------------------------------------------------------------
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() / "dnnd_sink_test") {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CampaignSink, FileSinkWritesReloadableJson) {
+  TempDir tmp;
+  const auto campaign = make_campaign();
+  FileSink sink((tmp.path() / "deep/nested/run.json").string());
+  sink.write(campaign);
+  const std::string content = slurp(tmp.path() / "deep/nested/run.json");
+  EXPECT_EQ(content, campaign.to_json() + "\n");
+  EXPECT_EQ(campaign_from_json(content).to_json(), campaign.to_json());
+}
+
+TEST(CampaignSink, RunDirectorySinkNumbersRuns) {
+  TempDir tmp;
+  const auto campaign = make_campaign();
+  RunDirectorySink sink(tmp.path().string());
+  sink.write(campaign);
+  sink.write(campaign);
+  EXPECT_TRUE(fs::exists(tmp.path() / "campaign-0001.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "campaign-0002.json"));
+  EXPECT_EQ(sink.next_path(), (tmp.path() / "campaign-0003.json").string());
+  EXPECT_EQ(slurp(tmp.path() / "campaign-0001.json"), slurp(tmp.path() / "campaign-0002.json"));
+}
+
+TEST(CampaignSink, EnvProtocolSelectsSink) {
+  TempDir tmp;
+  // DNND_JSON_OUT to a fresh file path -> FileSink.
+  const std::string file = (tmp.path() / "out.json").string();
+  ASSERT_EQ(setenv("DNND_JSON_OUT", file.c_str(), 1), 0);
+  auto sink = sink_from_env();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->describe(), file);
+
+  // A trailing slash (or existing directory) -> RunDirectorySink.
+  const std::string dir = tmp.path().string() + "/runs/";
+  ASSERT_EQ(setenv("DNND_JSON_OUT", dir.c_str(), 1), 0);
+  sink = sink_from_env();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_NE(sink->describe().find("campaign-*.json"), std::string::npos);
+
+  // Without DNND_JSON_OUT, DNND_JSON=1 selects stdout; nothing set -> null.
+  ASSERT_EQ(unsetenv("DNND_JSON_OUT"), 0);
+  ASSERT_EQ(setenv("DNND_JSON", "1", 1), 0);
+  sink = sink_from_env();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->describe(), "stdout");
+  ASSERT_EQ(unsetenv("DNND_JSON"), 0);
+  EXPECT_EQ(sink_from_env(), nullptr);
+}
+
+}  // namespace
+}  // namespace dnnd::harness

@@ -1,15 +1,36 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <thread>
 
+#include "dram/dram_device.hpp"
+#include "dram/row_remapper.hpp"
 #include "harness/campaign.hpp"
+#include "harness/campaign_diff.hpp"
 #include "harness/registry.hpp"
+#include "harness/sink.hpp"
 #include "sys/json.hpp"
 
 namespace dnnd::harness {
 namespace {
+
+/// Seconds-fast enumerate_grid spec exercising the new axes: two attack
+/// kinds and a SoftwarePrep variant on the tiny MLP.
+GridSpec mini_axes_spec() {
+  GridSpec spec;
+  spec.models = {"mlp"};
+  spec.generations = {dram::DeviceGen::kLpddr4New};
+  spec.attacks = {AttackKind::kBfa, AttackKind::kDramWhiteBox};
+  spec.preps = {"none", "piecewise-clustering", "reconstruction-guard"};
+  spec.defenses = {"none", "rrs"};
+  spec.dataset = DatasetKind::kTinyEasy;
+  spec.small = true;
+  return spec;
+}
 
 TEST(Scenario, SeedDerivesFromIdNotThreadOrder) {
   Scenario a;
@@ -47,6 +68,118 @@ TEST(Registry, GridsEnumerateWithUniqueIds) {
 
 TEST(Registry, UnknownMitigationThrows) {
   EXPECT_THROW(mitigation_factory("prince-of-persia"), std::invalid_argument);
+  EXPECT_THROW(mitigation_factory(""), std::invalid_argument);
+}
+
+TEST(Registry, MitigationFactoryConstructsEveryKnownDefense) {
+  const auto cfg = dram::DramConfig::sim_small();
+  dram::DramDevice dev(cfg);
+  dram::RowRemapper remap(cfg.geo);
+  for (const char* name : {"para", "rrs", "srs", "shadow", "graphene", "hydra"}) {
+    const MitigationFactory factory = mitigation_factory(name);
+    ASSERT_TRUE(factory) << name;
+    EXPECT_NE(factory(dev, remap), nullptr) << name;
+  }
+}
+
+TEST(Registry, AxisSlugsRoundTrip) {
+  for (const auto gen : kAllDeviceGens) {
+    EXPECT_EQ(device_gen_from_slug(device_gen_slug(gen)), gen);
+    EXPECT_NE(device_gen_slug(gen), "unknown");
+  }
+  EXPECT_THROW(device_gen_from_slug("ddr9-future"), std::invalid_argument);
+
+  for (const auto kind : kAllAttackKinds) {
+    EXPECT_EQ(attack_kind_from_string(to_string(kind)), kind);
+    EXPECT_NE(to_string(kind), "unknown");
+  }
+  EXPECT_THROW(attack_kind_from_string("voltage-glitch"), std::invalid_argument);
+
+  for (const auto prep : kAllSoftwarePreps) {
+    EXPECT_EQ(software_prep_from_string(to_string(prep)), prep);
+    EXPECT_NE(to_string(prep), "unknown");
+  }
+  EXPECT_TRUE(is_known_prep_axis("reconstruction-guard"));
+  EXPECT_FALSE(is_known_prep_axis("prayer"));
+}
+
+TEST(Registry, FullCrossProductHasUniqueStableIds) {
+  GridSpec spec;
+  spec.models = {"resnet20", "vgg11"};
+  spec.generations = {dram::DeviceGen::kLpddr4New, dram::DeviceGen::kDdr4New};
+  spec.attacks = {AttackKind::kBfa, AttackKind::kBinaryBfa, AttackKind::kRandom,
+                  AttackKind::kAdaptive, AttackKind::kDramWhiteBox};
+  spec.preps = {"none", "binary-finetune", "piecewise-clustering", "reconstruction-guard"};
+  spec.defenses = {"none", "para", "rrs",    "srs",
+                   "shadow", "graphene", "hydra", "dnn-defender"};
+
+  // Unpruned: the literal cross product of all five axes.
+  spec.prune_incoherent = false;
+  const auto full = enumerate_grid(spec);
+  EXPECT_EQ(full.size(), 2u * 2u * 5u * 4u * 8u);
+  std::set<std::string> ids;
+  for (const auto& sc : full) {
+    EXPECT_TRUE(ids.insert(sc.id).second) << "duplicate id " << sc.id;
+    EXPECT_EQ(sc.id.rfind("grid/", 0), 0u) << sc.id;
+  }
+
+  // Pruned: per (model, gen) -- kBfa pairs with all 4 preps but only
+  // defense "none"; kBinaryBfa/kRandom lose the reconstruction guard;
+  // kAdaptive also allows full-coverage dnn-defender; kDramWhiteBox takes
+  // every defense.
+  spec.prune_incoherent = true;
+  const auto pruned = enumerate_grid(spec);
+  const usize per_cell = 4 * 1 + 3 * 1 + 3 * 1 + 3 * 2 + 3 * 8;
+  EXPECT_EQ(pruned.size(), 2u * 2u * per_cell);
+  for (const auto& sc : pruned) {
+    // Recover the prep/defense axis values from the id's last two segments.
+    const auto last = sc.id.rfind('/');
+    const auto prev = sc.id.rfind('/', last - 1);
+    const std::string defense_axis = sc.id.substr(last + 1);
+    const std::string prep_axis = sc.id.substr(prev + 1, last - prev - 1);
+    EXPECT_TRUE(grid_cell_coherent(sc.attack, prep_axis, defense_axis)) << sc.id;
+  }
+
+  // Stable: a second enumeration yields the same ids in the same order.
+  const auto again = enumerate_grid(spec);
+  ASSERT_EQ(again.size(), pruned.size());
+  for (usize i = 0; i < pruned.size(); ++i) EXPECT_EQ(again[i].id, pruned[i].id);
+
+  // Unknown axis values are rejected up front -- even when pruning would
+  // have dropped every cell naming them (e.g. a typo'd defense with no
+  // dram-white-box attack in the grid).
+  GridSpec bad = mini_axes_spec();
+  bad.preps = {"quantum-annealing"};
+  EXPECT_THROW(enumerate_grid(bad), std::invalid_argument);
+  bad = mini_axes_spec();
+  bad.defenses = {"prince-of-persia"};
+  bad.attacks = {AttackKind::kBfa};
+  EXPECT_THROW(enumerate_grid(bad), std::invalid_argument);
+  bad = mini_axes_spec();
+  bad.models = {"resnet2"};
+  EXPECT_THROW(enumerate_grid(bad), std::invalid_argument);
+}
+
+TEST(Registry, MiniAxesGridEnumeratesExpectedCells) {
+  const auto grid = enumerate_grid(mini_axes_spec());
+  const std::vector<std::string> expected = {
+      "grid/mlp/lpddr4-new/bfa/none/none",
+      "grid/mlp/lpddr4-new/bfa/piecewise-clustering/none",
+      "grid/mlp/lpddr4-new/bfa/reconstruction-guard/none",
+      "grid/mlp/lpddr4-new/dram-white-box/none/none",
+      "grid/mlp/lpddr4-new/dram-white-box/none/rrs",
+      "grid/mlp/lpddr4-new/dram-white-box/piecewise-clustering/none",
+      "grid/mlp/lpddr4-new/dram-white-box/piecewise-clustering/rrs",
+  };
+  ASSERT_EQ(grid.size(), expected.size());
+  for (usize i = 0; i < expected.size(); ++i) EXPECT_EQ(grid[i].id, expected[i]);
+
+  // Axis values land in the scenario fields they configure.
+  EXPECT_TRUE(grid[2].reconstruction_guard);
+  EXPECT_EQ(grid[1].prep, SoftwarePrep::kPiecewiseClustering);
+  EXPECT_EQ(grid[1].defense, "piecewise-clustering");
+  EXPECT_TRUE(static_cast<bool>(grid[4].mitigation));
+  EXPECT_EQ(grid[6].defense, "piecewise-clustering+rrs");
 }
 
 TEST(Campaign, ScenarioErrorsAreCapturedNotThrown) {
@@ -80,10 +213,24 @@ TEST(Json, WriterShapesAreWellFormed) {
 
 // The tentpole regression: the same scenario grid must yield byte-identical
 // result tables and JSON for every thread count -- results depend on scenario
-// ids (seeds) and budgets, never on the schedule that executed them.
+// ids (seeds) and budgets, never on the schedule that executed them. The grid
+// is tiny_test_grid() plus an enumerate_grid sweep over the new axes, so it
+// covers two AttackKinds and a SoftwarePrep variant coming through GridSpec.
 TEST(Campaign, DeterministicAcrossThreadCounts) {
-  const auto grid = tiny_test_grid();
+  auto grid = tiny_test_grid();
   ASSERT_GE(grid.size(), 5u) << "grid should cover every attack path";
+  const auto axes = enumerate_grid(mini_axes_spec());
+  grid.insert(grid.end(), axes.begin(), axes.end());
+  {
+    std::set<AttackKind> attacks;
+    bool has_prep = false;
+    for (const auto& sc : axes) {
+      attacks.insert(sc.attack);
+      has_prep = has_prep || sc.prep != SoftwarePrep::kNone;
+    }
+    ASSERT_GE(attacks.size(), 2u) << "axes grid must span two attack kinds";
+    ASSERT_TRUE(has_prep) << "axes grid must include a SoftwarePrep variant";
+  }
 
   std::vector<usize> thread_counts = {1, 4,
                                       std::max<usize>(1, std::thread::hardware_concurrency())};
@@ -116,6 +263,45 @@ TEST(Campaign, RepeatedRunsOnWarmCacheAreIdentical) {
   const auto first = runner.run(grid);
   const auto second = runner.run(grid);
   EXPECT_EQ(first.to_json(), second.to_json());
+}
+
+// Golden-file regression: the committed tiny_test_grid() baseline must be
+// reproduced exactly (the harness is deterministic by construction), and the
+// persisted form must survive a parse round trip. Regenerate after an
+// intentional result change with:  DNND_REGEN_GOLDEN=1 ./test_harness
+TEST(Campaign, GoldenTinyGridBaselineMatches) {
+  const std::string path =
+      std::string(DNND_SOURCE_DIR) + "/tests/data/tiny_grid_baseline.json";
+
+  CampaignRunner runner(CampaignConfig{.threads = 2});
+  const auto res = runner.run(tiny_test_grid());
+  for (const auto& r : res.results) EXPECT_TRUE(r.ok) << r.id << ": " << r.error;
+  const std::string json = res.to_json() + "\n";  // sink framing: newline-terminated
+
+  // Round trip through the parser is byte-exact.
+  ASSERT_EQ(campaign_from_json(json).to_json() + "\n", json);
+
+  if (std::getenv("DNND_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing baseline " << path
+                  << " -- regenerate with DNND_REGEN_GOLDEN=1";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string baseline_text = ss.str();
+
+  // Exact textual match, and a zero-tolerance dnnd_diff-style comparison of
+  // the two persisted forms (what CI gates: both diff sides come from disk,
+  // i.e. through the "%.10g" serialization).
+  EXPECT_EQ(baseline_text, json);
+  const auto report =
+      diff_campaigns(campaign_from_json(baseline_text), campaign_from_json(json));
+  EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
 TEST(Campaign, ByIdLooksUpAndThrows) {

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sys/json.hpp"
+
+namespace dnnd::sys {
+namespace {
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const JsonValue doc = parse_json(
+      R"({"s":"hi","n":3.5,"i":42,"neg":-7,"t":true,"f":false,"z":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_double(), 3.5);
+  EXPECT_EQ(doc.at("i").as_u64(), 42u);
+  EXPECT_DOUBLE_EQ(doc.at("neg").as_double(), -7.0);
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  ASSERT_EQ(doc.at("arr").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("arr")[1].as_double(), 2.0);
+  EXPECT_EQ(doc.at("obj").at("k").as_string(), "v");
+  EXPECT_TRUE(doc.contains("s"));
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_THROW(doc.at("missing"), JsonParseError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue doc = parse_json(R"(["a\"b","x\\y","nl\n","tab\t","u\u0041","ctl\u0007"])");
+  EXPECT_EQ(doc[0].as_string(), "a\"b");
+  EXPECT_EQ(doc[1].as_string(), "x\\y");
+  EXPECT_EQ(doc[2].as_string(), "nl\n");
+  EXPECT_EQ(doc[3].as_string(), "tab\t");
+  EXPECT_EQ(doc[4].as_string(), "uA");
+  EXPECT_EQ(doc[5].as_string(), std::string("ctl") + '\x07');
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 escaped as a UTF-16 surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(), "\xF0\x9F\x98\x80");
+  // BMP non-ASCII escape decodes as 3-byte UTF-8; raw UTF-8 passes through.
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xE2\x82\xAC");
+  EXPECT_EQ(parse_json("\"\xE2\x82\xAC\"").as_string(), "\xE2\x82\xAC");
+  // Lone or malformed surrogates are errors, not silent CESU-8.
+  EXPECT_THROW(parse_json(R"("\ud83d")"), JsonParseError);
+  EXPECT_THROW(parse_json(R"("\ud83dx")"), JsonParseError);
+  EXPECT_THROW(parse_json(R"("\ud83dA")"), JsonParseError);
+  EXPECT_THROW(parse_json(R"("\ude00")"), JsonParseError);
+}
+
+TEST(JsonParse, WriterOutputRoundTripsByteExactly) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("a \"quoted\"\nstring");
+  w.key("pi").value(3.25);
+  w.key("acc").value(0.9666666667);
+  w.key("n").value(static_cast<u64>(7));
+  w.key("big").value(static_cast<u64>(18446744073709551615ull));
+  w.key("list").begin_array().value(1.0).value(2.0).end_array();
+  w.key("nested").begin_object().key("ok").value(true).end_object();
+  w.key("none").begin_array().end_array();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.dump(), w.str());
+  // 2^64-1 does not fit a double; the lexeme-exact accessor must survive it.
+  EXPECT_EQ(doc.at("big").as_u64(), 18446744073709551615ull);
+}
+
+TEST(JsonParse, NumericLexemesArePreserved) {
+  // "%.10g" output re-serializes identically even when the double would
+  // print differently through a shortest-representation formatter.
+  for (const char* lexeme : {"0.9666666667", "3.25", "-1.5e-09", "42", "0"}) {
+    const JsonValue v = parse_json(lexeme);
+    EXPECT_EQ(v.dump(), lexeme);
+  }
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const JsonValue doc = parse_json("  {\n\t\"a\" : [ 1 , 2 ] ,\r\n \"b\" : { } }  ");
+  EXPECT_EQ(doc.at("a").size(), 2u);
+  EXPECT_EQ(doc.at("b").size(), 0u);
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "nul", "01x",
+                          "\"unterminated", "{\"a\":1} trailing", "[1 2]", "\"bad\\q\"",
+                          "\"\\u00g0\"", "{'single':1}", "[1,]", "-", "1.", "1e", "007",
+                          "-01.5"}) {
+    EXPECT_THROW(parse_json(bad), JsonParseError) << "input: " << bad;
+  }
+}
+
+TEST(JsonParse, AccessorKindMismatchesThrow) {
+  const JsonValue doc = parse_json(R"({"a":[1],"s":"x"})");
+  EXPECT_THROW(doc.at("s").as_double(), JsonParseError);
+  EXPECT_THROW(doc.at("a").as_string(), JsonParseError);
+  EXPECT_THROW(doc.at("a").at("k"), JsonParseError);
+  EXPECT_THROW(doc.at("s").as_bool(), JsonParseError);
+  EXPECT_THROW(doc.at("a")[5], JsonParseError);
+}
+
+TEST(JsonParse, AsU64RejectsNegativeAndFractionalLexemes) {
+  EXPECT_THROW(parse_json("-7").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("3.5").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("1e3").as_u64(), JsonParseError);
+  EXPECT_EQ(parse_json("0").as_u64(), 0u);
+  EXPECT_DOUBLE_EQ(parse_json("-7").as_double(), -7.0);  // as_double still fine
+}
+
+TEST(JsonParse, ProgrammaticConstructionAndSet) {
+  JsonValue obj = JsonValue::object();
+  obj.set("x", JsonValue::number(1.5));
+  obj.set("x", JsonValue::number(2.5));  // overwrite keeps position
+  obj.set("y", JsonValue::string("s"));
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue::boolean(true));
+  arr.push_back(JsonValue::null());
+  obj.set("arr", std::move(arr));
+  EXPECT_EQ(obj.dump(), R"({"x":2.5,"y":"s","arr":[true,null]})");
+}
+
+}  // namespace
+}  // namespace dnnd::sys
