@@ -15,6 +15,9 @@
 //                       rrs, srs, shadow, graphene, hydra, dnn-defender
 //   DNND_GRID_FULL_PRODUCT=1 keeps cells whose defense cannot engage the
 //                            attack (normally pruned).
+//   DNND_NAIVE_GEMM=1        forces Dense/Conv2d onto the retained naive
+//                            kernels (A/B the GEMM engine's wall-clock win;
+//                            results are bitwise identical either way).
 //
 // `bench_grid --tiny` (or DNND_GRID=tiny) runs the seconds-fast
 // tiny_test_grid() instead -- the grid behind the committed regression
@@ -26,6 +29,7 @@
 #include "harness/campaign.hpp"
 #include "harness/registry.hpp"
 #include "harness/sink.hpp"
+#include "nn/gemm.hpp"
 
 using namespace dnnd;
 
@@ -96,6 +100,10 @@ int main(int argc, char** argv) {
   }
   if (const char* v = std::getenv("DNND_GRID"); v != nullptr && std::string(v) == "tiny") {
     tiny = true;
+  }
+  if (const char* v = std::getenv("DNND_NAIVE_GEMM"); v != nullptr && v[0] == '1') {
+    nn::gemm::set_force_naive(true);
+    std::printf("[grid] DNND_NAIVE_GEMM=1: naive reference kernels\n");
   }
 
   const bool small = bench::small_scale();

@@ -1,0 +1,150 @@
+// bench_inference: throughput benchmark for the GEMM inference engine.
+//
+// Measures (1) full-forward throughput of the engine vs. the retained naive
+// reference kernels (gemm::set_force_naive) on a zoo conv model, and (2) the
+// cost of an incremental forward_from(k) probe for every top-level layer k --
+// the flip/probe primitive of the BFA family, whose cost should scale with
+// the remaining depth, not the whole network.
+//
+// Emits machine-readable JSON (the BENCH trajectory seed): to stdout, and to
+// the file named by DNND_JSON_OUT when set (the campaign sink convention).
+//
+//   DNND_BENCH_MODEL   zoo arch (default vgg11)
+//   DNND_BENCH_BATCH   batch size (default 32)
+//   DNND_BENCH_SCALE   small -> shorter timed windows
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "attack/bfa.hpp"
+#include "bench_util.hpp"
+#include "nn/gemm.hpp"
+#include "nn/model.hpp"
+#include "quant/quantizer.hpp"
+#include "sys/json.hpp"
+
+using namespace dnnd;
+
+namespace {
+
+/// Runs `fn` repeatedly for at least `window` seconds (after one warmup call)
+/// and returns the mean seconds per call.
+template <typename Fn>
+double time_per_call(double window, Fn&& fn) {
+  fn();  // warmup: sizes the workspace, faults in pages
+  usize calls = 0;
+  const bench::Stopwatch sw;
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++calls;
+    elapsed = sw.seconds();
+  } while (elapsed < window);
+  return elapsed / static_cast<double>(calls);
+}
+
+}  // namespace
+
+int main() {
+  const char* model_env = std::getenv("DNND_BENCH_MODEL");
+  const std::string arch = model_env != nullptr && model_env[0] != '\0' ? model_env : "vgg11";
+  usize batch = 32;
+  if (const char* v = std::getenv("DNND_BENCH_BATCH"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) batch = static_cast<usize>(n);
+  }
+  const double window = bench::small_scale() ? 0.1 : 0.5;
+
+  bench::banner("Inference engine throughput -- naive vs GEMM, incremental probes",
+                "engine microbenchmark (BENCH trajectory; not a paper figure)");
+
+  auto model = models::make_by_name(arch, 10, /*seed=*/1);
+  sys::Rng rng(99);
+  nn::Tensor x({batch, 3, 12, 12});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+  // ---- full-forward throughput, naive vs engine -----------------------------
+  nn::gemm::set_force_naive(true);
+  const double naive_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  nn::gemm::set_force_naive(false);
+  const double engine_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  const double naive_ips = static_cast<double>(batch) / naive_spc;
+  const double engine_ips = static_cast<double>(batch) / engine_spc;
+  const double speedup = naive_spc / engine_spc;
+  std::printf("[forward] %s batch=%zu\n", arch.c_str(), batch);
+  std::printf("  naive  : %8.1f images/s (%.3f ms/batch)\n", naive_ips, naive_spc * 1e3);
+  std::printf("  engine : %8.1f images/s (%.3f ms/batch)\n", engine_ips, engine_spc * 1e3);
+  std::printf("  speedup: %.2fx\n", speedup);
+
+  // ---- incremental probe cost per layer -------------------------------------
+  // forward_from(k) recomputes layers >= k over the cached prefix; a probe at
+  // the last layer should cost a small fraction of a probe at layer 0.
+  const usize layers = model->net().layer_count();
+  std::vector<double> probe_us(layers, 0.0);
+  model->forward_cached(x);
+  for (usize k = 0; k < layers; ++k) {
+    const double spc = time_per_call(window / 4.0, [&] { model->forward_from(k); });
+    probe_us[k] = spc * 1e6;
+  }
+  const double full_us = engine_spc * 1e6;
+  std::printf("[forward_from] probe cost by first recomputed layer (full fwd %.0f us):\n",
+              full_us);
+  for (usize k = 0; k < layers; ++k) {
+    std::printf("  layer %2zu %-12s %8.1f us (%.2fx of full)\n", k,
+                model->net().layer(k).name().c_str(), probe_us[k], probe_us[k] / full_us);
+  }
+
+  // ---- one BFA step on the engine path --------------------------------------
+  // End-to-end cost of the attack inner loop: gradient ranking plus candidate
+  // flip/probe/unflip evaluations, all riding forward_cached/forward_from.
+  std::vector<u32> y(batch);
+  for (usize i = 0; i < batch; ++i) y[i] = static_cast<u32>(i % 10);
+  quant::QuantizedModel qm(*model);
+  const auto clean_codes = qm.snapshot();
+  attack::BfaConfig bcfg;
+  bcfg.max_flips = 1;
+  // Every iteration searches the same clean model: the restore undoes the
+  // committed flip so timings don't drift with the iteration count (its cost,
+  // one dequantize pass, is ~1% of a step).
+  const double step_engine = time_per_call(window, [&] {
+    attack::ProgressiveBitSearch bfa(qm, x, y, bcfg);
+    bfa.step({});
+    qm.restore(clean_codes);
+  });
+  std::printf("[bfa] one progressive-bit-search step: %.2f ms\n", step_engine * 1e3);
+
+  // ---- JSON -----------------------------------------------------------------
+  sys::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_inference");
+  w.key("model").value(arch);
+  w.key("batch").value(batch);
+  w.key("naive_images_per_s").value(naive_ips);
+  w.key("engine_images_per_s").value(engine_ips);
+  w.key("speedup").value(speedup);
+  w.key("full_forward_us").value(full_us);
+  w.key("bfa_step_ms").value(step_engine * 1e3);
+  w.key("forward_from_us").begin_array();
+  for (usize k = 0; k < layers; ++k) {
+    w.begin_object();
+    w.key("layer").value(k);
+    w.key("name").value(model->net().layer(k).name());
+    w.key("us").value(probe_us[k]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::printf("%s\n", w.str().c_str());
+  if (const char* out = std::getenv("DNND_JSON_OUT"); out != nullptr && out[0] != '\0') {
+    std::ofstream f(out, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "bench_inference: cannot write %s\n", out);
+      return 1;
+    }
+    f << w.str() << '\n';
+    std::printf("[sink] throughput JSON -> %s\n", out);
+  }
+  return 0;
+}

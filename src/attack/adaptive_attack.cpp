@@ -19,7 +19,7 @@ AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secure
   // The attacker first iterates through the secured candidates: every attempt
   // is refreshed away by the defense, so the model is unchanged. The trace
   // therefore starts at the clean accuracy.
-  result.accuracy_trace.push_back(qm_.model().accuracy(eval_x_, eval_y_));
+  result.accuracy_trace.push_back(qm_.model().evaluate_batch(eval_x_, eval_y_).accuracy);
 
   // Adapted search: progressive bit search that skips the secured set, i.e.
   // only unprotected bits can land.
@@ -31,7 +31,7 @@ AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secure
     if (!rec.has_value()) break;
     result.landed_flips.push_back(rec->loc);
     if (k % cfg_.measure_every == 0 || k == cfg_.max_additional_flips) {
-      result.accuracy_trace.push_back(qm_.model().accuracy(eval_x_, eval_y_));
+      result.accuracy_trace.push_back(qm_.model().evaluate_batch(eval_x_, eval_y_).accuracy);
     }
   }
   return result;

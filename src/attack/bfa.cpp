@@ -20,9 +20,11 @@ double ProgressiveBitSearch::stop_threshold() const {
 
 std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& skip) {
   nn::Model& model = qm_.model();
-  // (1) gradients of the inference loss on the attack batch
+  // (1) gradients of the inference loss on the attack batch. This full pass
+  // also populates the model's activation cache, which every candidate probe
+  // below re-evaluates incrementally from its flip layer onward.
   model.zero_grad();
-  const nn::LossResult base = model.loss_and_grad(attack_x_, attack_y_);
+  const double base_loss = model.loss_and_grad(attack_x_, attack_y_).loss;
 
   // Effective exclusion: caller's skip set plus everything this search has
   // already flipped (BFA never undoes its own flips).
@@ -54,23 +56,22 @@ std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& sk
   }
 
   std::optional<quant::BitLocation> best_loc;
-  double best_loss = base.loss;
+  double best_loss = base_loss;
   double best_accuracy = 0.0;
   for (const LayerBest& lb : per_layer) {
     for (const quant::FlipCandidate& cand : lb.cands) {
+      // flip / incremental forward / unflip: only layers at and beyond the
+      // flipped tensor are recomputed; loss and accuracy both come from the
+      // single resulting logits tensor.
       qm_.flip(cand.loc);
-      nn::Tensor logits = model.forward(attack_x_, /*train=*/false);
-      const double loss = nn::softmax_cross_entropy_loss(logits, attack_y_);
+      const nn::Tensor& logits =
+          model.forward_from(qm_.layer(cand.loc.layer).net_layer, /*train=*/false);
+      const nn::BatchEval ev = nn::evaluate_logits(logits, attack_y_);
       qm_.flip(cand.loc);  // revert
-      if (loss > best_loss) {
-        best_loss = loss;
+      if (ev.loss > best_loss) {
+        best_loss = ev.loss;
         best_loc = cand.loc;
-        usize hits = 0;
-        const auto pred = nn::argmax_rows(logits);
-        for (usize i = 0; i < pred.size(); ++i) {
-          if (pred[i] == attack_y_[i]) ++hits;
-        }
-        best_accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
+        best_accuracy = ev.accuracy;
       }
     }
   }
@@ -94,17 +95,14 @@ std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& sk
   flipped_.insert(*best_loc);
   FlipRecord rec;
   rec.loc = *best_loc;
-  rec.loss_before = base.loss;
+  rec.loss_before = base_loss;
   rec.fallback = fallback;
   if (fallback) {
-    nn::Tensor logits = model.forward(attack_x_, /*train=*/false);
-    best_loss = nn::softmax_cross_entropy_loss(logits, attack_y_);
-    usize hits = 0;
-    const auto pred = nn::argmax_rows(logits);
-    for (usize i = 0; i < pred.size(); ++i) {
-      if (pred[i] == attack_y_[i]) ++hits;
-    }
-    best_accuracy = static_cast<double>(hits) / static_cast<double>(pred.size());
+    const nn::Tensor& logits =
+        model.forward_from(qm_.layer(best_loc->layer).net_layer, /*train=*/false);
+    const nn::BatchEval ev = nn::evaluate_logits(logits, attack_y_);
+    best_loss = ev.loss;
+    best_accuracy = ev.accuracy;
   }
   rec.loss_after = best_loss;
   rec.batch_accuracy_after = best_accuracy;
@@ -118,7 +116,7 @@ std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& sk
 
 BfaResult ProgressiveBitSearch::run(const quant::BitSkipSet& skip) {
   BfaResult result;
-  result.initial_batch_accuracy = qm_.model().accuracy(attack_x_, attack_y_);
+  result.initial_batch_accuracy = qm_.model().evaluate_batch(attack_x_, attack_y_).accuracy;
   result.final_batch_accuracy = result.initial_batch_accuracy;
   const double stop = stop_threshold();
   for (usize i = 0; i < cfg_.max_flips; ++i) {

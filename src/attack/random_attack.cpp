@@ -23,11 +23,11 @@ quant::BitLocation RandomBitAttack::flip_one(const quant::BitSkipSet& skip) {
 RandomAttackResult RandomBitAttack::run(usize n_flips, const nn::Tensor& x,
                                         const std::vector<u32>& y, usize measure_every) {
   RandomAttackResult result;
-  result.accuracy_trace.push_back(qm_.model().accuracy(x, y));
+  result.accuracy_trace.push_back(qm_.model().evaluate_batch(x, y).accuracy);
   for (usize i = 1; i <= n_flips; ++i) {
     result.flips.push_back(flip_one());
     if (i % measure_every == 0 || i == n_flips) {
-      result.accuracy_trace.push_back(qm_.model().accuracy(x, y));
+      result.accuracy_trace.push_back(qm_.model().evaluate_batch(x, y).accuracy);
     }
   }
   return result;

@@ -70,7 +70,8 @@ void run_scenario_impl(const Scenario& sc, ArtifactCache& cache, ScenarioResult&
       break;
   }
 
-  auto eval_acc = [&] { return model->accuracy(ex, ey); };
+  // One forward per evaluation point: loss and accuracy share the logits.
+  auto eval_acc = [&] { return model->evaluate_batch(ex, ey).accuracy; };
 
   if (sc.attack == AttackKind::kBinaryBfa) {
     defense::software::BinaryWeightModel bm(*model);

@@ -1,0 +1,116 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "nn/workspace.hpp"
+
+namespace dnnd::nn::gemm {
+
+namespace {
+
+std::atomic<bool> g_force_naive{false};
+
+/// B rows interleaved per panel: panel[k * kNr + r] = B[(n0 + r) * ldb + k].
+/// With 8 independent accumulators the inner k loop reads one contiguous
+/// 8-float line per step -- vectorizable across the accumulators while each
+/// accumulator still sees its terms in ascending k.
+constexpr usize kNr = 8;
+
+/// M tile: bounds the live span of A rows streamed against one packed panel.
+constexpr usize kMc = 128;
+
+void pack_panel(const float* B, usize ldb, usize rows, usize K, float* panel) {
+  for (usize k = 0; k < K; ++k) {
+    float* dst = panel + k * kNr;
+    for (usize r = 0; r < rows; ++r) dst[r] = B[r * ldb + k];
+    for (usize r = rows; r < kNr; ++r) dst[r] = 0.0f;
+  }
+}
+
+inline float bias_for(const float* bias, Bias kind, usize n) {
+  return kind == Bias::kPerCol ? bias[n] : 0.0f;
+}
+
+}  // namespace
+
+void set_force_naive(bool on) { g_force_naive.store(on, std::memory_order_relaxed); }
+bool force_naive() { return g_force_naive.load(std::memory_order_relaxed); }
+
+usize packed_b_size(usize N, usize K) { return ((N + kNr - 1) / kNr) * kNr * K; }
+
+void pack_b(const float* B, usize ldb, usize N, usize K, float* packed) {
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    pack_panel(B + n0 * ldb, ldb, std::min(kNr, N - n0), K, packed + n0 * K);
+  }
+}
+
+void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
+                       const float* packed_b, float* C, usize crs, usize ccs,
+                       const float* bias, Bias bias_kind) {
+  if (M == 0 || N == 0) return;
+  constexpr usize kMr = 8;  // A rows per register tile
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    const usize rows = std::min(kNr, N - n0);
+    const float* panel = packed_b + n0 * K;
+    for (usize m0 = 0; m0 < M; m0 += kMc) {
+      const usize m1 = std::min(M, m0 + kMc);
+      usize m = m0;
+      // 8x8 register tile: one panel line feeds eight A rows per k step (the
+      // shape GCC vectorizes best here). Each of the 64 accumulators is still
+      // a single float advanced in ascending k, so the tiling cannot change
+      // any output bit.
+      for (; m + kMr <= m1; m += kMr) {
+        const float* a[kMr];
+        for (usize i = 0; i < kMr; ++i) a[i] = A + (m + i) * lda;
+        float acc[kMr][kNr];
+        for (usize i = 0; i < kMr; ++i) {
+          for (usize r = 0; r < kNr; ++r) {
+            acc[i][r] = bias_for(bias, bias_kind, n0 + r < N ? n0 + r : N - 1);
+          }
+        }
+        const float* p = panel;
+        for (usize k = 0; k < K; ++k, p += kNr) {
+          for (usize i = 0; i < kMr; ++i) {
+            const float av = a[i][k];
+            for (usize r = 0; r < kNr; ++r) acc[i][r] += av * p[r];
+          }
+        }
+        for (usize i = 0; i < kMr; ++i) {
+          float* c = C + (m + i) * crs + n0 * ccs;
+          for (usize r = 0; r < rows; ++r) c[r * ccs] = acc[i][r];
+        }
+      }
+      for (; m < m1; ++m) {
+        const float* a = A + m * lda;
+        float acc[kNr];
+        for (usize r = 0; r < kNr; ++r) {
+          acc[r] = bias_for(bias, bias_kind, n0 + r < N ? n0 + r : N - 1);
+        }
+        const float* p = panel;
+        for (usize k = 0; k < K; ++k, p += kNr) {
+          const float av = a[k];
+          for (usize r = 0; r < kNr; ++r) acc[r] += av * p[r];
+        }
+        float* c = C + m * crs + n0 * ccs;
+        for (usize r = 0; r < rows; ++r) c[r * ccs] = acc[r];
+      }
+    }
+  }
+}
+
+void gemm_nt_strided(usize M, usize N, usize K, const float* A, usize lda, const float* B,
+                     usize ldb, float* C, usize crs, usize ccs, const float* bias,
+                     Bias bias_kind, Workspace& ws) {
+  if (M == 0 || N == 0) return;
+  float* packed = ws.pack_buffer(packed_b_size(N, K));
+  pack_b(B, ldb, N, K, packed);
+  gemm_nt_prepacked(M, N, K, A, lda, packed, C, crs, ccs, bias, bias_kind);
+}
+
+void gemm_nt(usize M, usize N, usize K, const float* A, usize lda, const float* B, usize ldb,
+             float* C, usize ldc, const float* bias, Bias bias_kind, Workspace& ws) {
+  gemm_nt_strided(M, N, K, A, lda, B, ldb, C, ldc, 1, bias, bias_kind, ws);
+}
+
+}  // namespace dnnd::nn::gemm

@@ -1,0 +1,66 @@
+// Cache-blocked, order-preserving GEMM -- the compute core of the inference
+// engine.
+//
+// Both operands are K-major ("NT" layout: C[m,n] = dot(A row m, B row n)),
+// which is exactly how Dense (x rows x weight rows) and the im2col lowering
+// of Conv2d (weight rows x patch rows) present their data. The kernel packs B
+// into 8-row interleaved panels so the inner loop is a contiguous SIMD-
+// friendly stream, and tiles M for L2 residency of the panel.
+//
+// Bit-exactness contract: every output element is produced by ONE float
+// accumulator initialised with its bias term and advanced in strictly
+// ascending k -- the accumulation order of the original hand-rolled loops in
+// src/nn/layers.cpp (retained verbatim in src/nn/reference.cpp). Blocking and
+// packing only reorder *independent* accumulators, never the terms within
+// one, so the lowered path is bitwise identical to the naive path
+// (tests/test_gemm.cpp holds this over randomized shapes).
+#pragma once
+
+#include "sys/types.hpp"
+
+namespace dnnd::nn {
+
+class Workspace;
+
+namespace gemm {
+
+/// How the per-output accumulator is initialised. Both lowerings put the
+/// bias-carrying dimension on the GEMM columns: for Dense, n is the output
+/// feature; for Conv2d (patches as rows, weights as columns), n is the
+/// output channel.
+enum class Bias : u32 {
+  kNone,    ///< acc starts at 0
+  kPerCol,  ///< acc starts at bias[n]
+};
+
+/// C[m*ldc + n] = bias_init + sum_k A[m*lda + k] * B[n*ldb + k], for
+/// m in [0,M), n in [0,N), k ascending. `ws` provides the pack panel.
+void gemm_nt(usize M, usize N, usize K, const float* A, usize lda, const float* B, usize ldb,
+             float* C, usize ldc, const float* bias, Bias bias_kind, Workspace& ws);
+
+/// General-stride variant: C[m*crs + n*ccs]. Conv2d uses it with the patch
+/// matrix as A and the (once-packed) weight as B, writing the NCHW output
+/// slice directly via crs=1, ccs=oh*ow.
+void gemm_nt_strided(usize M, usize N, usize K, const float* A, usize lda, const float* B,
+                     usize ldb, float* C, usize crs, usize ccs, const float* bias,
+                     Bias bias_kind, Workspace& ws);
+
+/// Floats needed to pack an N x K B operand (8-row interleaved panels).
+[[nodiscard]] usize packed_b_size(usize N, usize K);
+
+/// Packs B (N rows, K-major, leading dim ldb) into sequential 8-row panels.
+void pack_b(const float* B, usize ldb, usize N, usize K, float* packed);
+
+/// gemm_nt_strided against a pre-packed B -- lets Conv2d pack its weights
+/// once per forward call instead of once per sample.
+void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
+                       const float* packed_b, float* C, usize crs, usize ccs,
+                       const float* bias, Bias bias_kind);
+
+/// Forces Dense/Conv2d forward onto the retained naive reference kernels.
+/// Process-global A/B switch for bench_inference; not used on any hot path.
+void set_force_naive(bool on);
+[[nodiscard]] bool force_naive();
+
+}  // namespace gemm
+}  // namespace dnnd::nn

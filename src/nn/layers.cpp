@@ -2,9 +2,30 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <stdexcept>
+
+#include "nn/gemm.hpp"
+#include "nn/reference.hpp"
 
 namespace dnnd::nn {
+
+// ----------------------------------------------------------------- Layer ----
+
+Tensor Layer::forward(const Tensor& x, bool train) {
+  if (!legacy_ws_) legacy_ws_ = std::make_unique<Workspace>();
+  Tensor y;
+  forward_into(x, y, train, *legacy_ws_);
+  return y;
+}
+
+Tensor Layer::backward(const Tensor& dy) {
+  if (!legacy_ws_) legacy_ws_ = std::make_unique<Workspace>();
+  Tensor dx;
+  backward_into(dy, dx, *legacy_ws_);
+  return dx;
+}
 
 // ---------------------------------------------------------------- Dense ----
 
@@ -16,27 +37,25 @@ Dense::Dense(usize in_features, usize out_features, sys::Rng& rng)
       in_(in_features),
       out_(out_features) {}
 
-Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+void Dense::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& ws) {
   assert(x.rank() == 2 && x.dim(1) == in_);
   x_cache_ = x;
   const usize n = x.dim(0);
-  Tensor y({n, out_});
-  for (usize i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * in_;
-    for (usize o = 0; o < out_; ++o) {
-      const float* w = weight.data() + o * in_;
-      float acc = bias[o];
-      for (usize j = 0; j < in_; ++j) acc += w[j] * xi[j];
-      y.at2(i, o) = acc;
-    }
+  y.resize({n, out_});
+  if (gemm::force_naive()) {
+    reference::dense_forward(x, weight, bias, y);
+    return;
   }
-  return y;
+  // y = x W^T + b: both operands K-major, bias per output feature (column).
+  gemm::gemm_nt(n, out_, in_, x.data(), in_, weight.data(), in_, y.data(), out_, bias.data(),
+                gemm::Bias::kPerCol, ws);
 }
 
-Tensor Dense::backward(const Tensor& dy) {
+void Dense::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const usize n = x_cache_.dim(0);
   assert(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == out_);
-  Tensor dx({n, in_});
+  dx.resize({n, in_});
+  dx.zero();
   for (usize i = 0; i < n; ++i) {
     const float* xi = x_cache_.data() + i * in_;
     float* dxi = dx.data() + i * in_;
@@ -52,7 +71,6 @@ Tensor Dense::backward(const Tensor& dy) {
       }
     }
   }
-  return dx;
 }
 
 std::vector<ParamRef> Dense::params() {
@@ -74,68 +92,102 @@ Conv2d::Conv2d(usize in_ch, usize out_ch, usize kernel, usize stride, usize padd
       stride_(stride),
       pad_(padding) {}
 
-Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
+void Conv2d::im2col(const Tensor& x, usize b, const ConvGeom& g, float* col) const {
+  const float* xb = x.data() + b * g.in_ch * g.h * g.w;
+  const usize K = g.patch_size();
+  usize p = 0;
+  for (usize oi = 0; oi < g.oh; ++oi) {
+    for (usize oj = 0; oj < g.ow; ++oj, ++p) {
+      float* cp = col + p * K;
+      for_each_patch_row(
+          g, oi, oj,
+          [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
+              bool row_valid) {
+            float* dst = cp + kk_row;
+            if (!row_valid) {
+              for (usize kj = 0; kj < k_; ++kj) dst[kj] = 0.0f;
+              return;
+            }
+            // Spans are at most k (<= 3 in the zoo): an inline loop beats a
+            // variable-size memcpy call.
+            const float* src = xb + (ic * g.h + hi) * g.w + wj_lo;
+            for (usize kj = 0; kj < kj_lo; ++kj) dst[kj] = 0.0f;
+            for (usize kj = kj_lo; kj < kj_hi; ++kj) dst[kj] = src[kj - kj_lo];
+            for (usize kj = kj_hi; kj < k_; ++kj) dst[kj] = 0.0f;
+          });
+    }
+  }
+}
+
+void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& ws) {
   assert(x.rank() == 4 && x.dim(1) == in_ch_);
   x_cache_ = x;
   const usize n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const usize oh = out_size(h), ow = out_size(w);
-  Tensor y({n, out_ch_, oh, ow});
-  for (usize b = 0; b < n; ++b) {
-    for (usize oc = 0; oc < out_ch_; ++oc) {
-      for (usize i = 0; i < oh; ++i) {
-        for (usize j = 0; j < ow; ++j) {
-          float acc = bias[oc];
-          for (usize ic = 0; ic < in_ch_; ++ic) {
-            for (usize ki = 0; ki < k_; ++ki) {
-              const isize hi = static_cast<isize>(i * stride_ + ki) - static_cast<isize>(pad_);
-              if (hi < 0 || hi >= static_cast<isize>(h)) continue;
-              for (usize kj = 0; kj < k_; ++kj) {
-                const isize wj = static_cast<isize>(j * stride_ + kj) - static_cast<isize>(pad_);
-                if (wj < 0 || wj >= static_cast<isize>(w)) continue;
-                acc += weight.at4(oc, ic, ki, kj) *
-                       x.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj));
-              }
-            }
-          }
-          y.at4(b, oc, i, j) = acc;
-        }
-      }
-    }
+  y.resize({n, out_ch_, oh, ow});
+  if (gemm::force_naive()) {
+    reference::conv2d_forward(x, weight, bias, stride_, pad_, y);
+    return;
   }
-  return y;
+  // Lowering: per sample, y[oc, p] = bias[oc] + dot(col[p, :], W[oc, :]) over
+  // the patch dimension. Patches stream as GEMM rows against the packed
+  // weight panels (the small operand), and the strided store writes the NCHW
+  // slice directly. The padded taps contribute exact zeros in the same
+  // (ic, ki, kj) positions the naive loops skipped, so the accumulation is
+  // bit-identical (adding a signed zero never changes a non-negative-zero
+  // accumulator, and the accumulator can only be -0.0 if the bias is).
+  const ConvGeom g = geom(h, w);
+  const usize K = g.patch_size(), P = oh * ow;
+  float* col = ws.col_buffer(P * K);
+  float* packed_w = ws.pack_buffer(gemm::packed_b_size(out_ch_, K));
+  gemm::pack_b(weight.data(), K, out_ch_, K, packed_w);  // once, not per sample
+  for (usize b = 0; b < n; ++b) {
+    im2col(x, b, g, col);
+    gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P, 1, P,
+                            bias.data(), gemm::Bias::kPerCol);
+  }
 }
 
-Tensor Conv2d::backward(const Tensor& dy) {
+void Conv2d::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const Tensor& x = x_cache_;
   const usize n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const usize oh = dy.dim(2), ow = dy.dim(3);
-  Tensor dx({n, in_ch_, h, w});
+  const ConvGeom g = geom(h, w);
+  assert(g.oh == oh && g.ow == ow);
+  const usize K = g.patch_size();
+  dx.resize({n, in_ch_, h, w});
+  dx.zero();
+  const float* wt = weight.data();
   for (usize b = 0; b < n; ++b) {
+    const float* xb = x.data() + b * in_ch_ * h * w;
+    float* dxb = dx.data() + b * in_ch_ * h * w;
     for (usize oc = 0; oc < out_ch_; ++oc) {
+      float* dwoc = dweight.data() + oc * K;
+      const float* woc = wt + oc * K;
       for (usize i = 0; i < oh; ++i) {
         for (usize j = 0; j < ow; ++j) {
-          const float g = dy.at4(b, oc, i, j);
-          if (g == 0.0f) continue;
-          dbias[oc] += g;
-          for (usize ic = 0; ic < in_ch_; ++ic) {
-            for (usize ki = 0; ki < k_; ++ki) {
-              const isize hi = static_cast<isize>(i * stride_ + ki) - static_cast<isize>(pad_);
-              if (hi < 0 || hi >= static_cast<isize>(h)) continue;
-              for (usize kj = 0; kj < k_; ++kj) {
-                const isize wj = static_cast<isize>(j * stride_ + kj) - static_cast<isize>(pad_);
-                if (wj < 0 || wj >= static_cast<isize>(w)) continue;
-                dweight.at4(oc, ic, ki, kj) +=
-                    g * x.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj));
-                dx.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj)) +=
-                    g * weight.at4(oc, ic, ki, kj);
-              }
-            }
-          }
+          const float gy = dy.at4(b, oc, i, j);
+          if (gy == 0.0f) continue;
+          dbias[oc] += gy;
+          for_each_patch_row(
+              g, i, j,
+              [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
+                  bool row_valid) {
+                if (!row_valid) return;
+                const float* xrow = xb + (ic * h + hi) * w + wj_lo;
+                float* dxrow = dxb + (ic * h + hi) * w + wj_lo;
+                float* dwrow = dwoc + kk_row + kj_lo;
+                const float* wrow = woc + kk_row + kj_lo;
+                const usize span = kj_hi - kj_lo;
+                for (usize t = 0; t < span; ++t) {
+                  dwrow[t] += gy * xrow[t];
+                  dxrow[t] += gy * wrow[t];
+                }
+              });
         }
       }
     }
   }
-  return dx;
 }
 
 std::vector<ParamRef> Conv2d::params() {
@@ -145,32 +197,30 @@ std::vector<ParamRef> Conv2d::params() {
 
 // ----------------------------------------------------------------- ReLU ----
 
-Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  mask_ = Tensor(x.shape());
-  Tensor y(x.shape());
+void ReLU::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& /*ws*/) {
+  mask_.resize(x.shape());
+  y.resize(x.shape());
   for (usize i = 0; i < x.size(); ++i) {
     const bool pos = x[i] > 0.0f;
     mask_[i] = pos ? 1.0f : 0.0f;
     y[i] = pos ? x[i] : 0.0f;
   }
-  return y;
 }
 
-Tensor ReLU::backward(const Tensor& dy) {
+void ReLU::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   assert(dy.size() == mask_.size());
-  Tensor dx(dy.shape());
+  dx.resize(dy.shape());
   for (usize i = 0; i < dy.size(); ++i) dx[i] = dy[i] * mask_[i];
-  return dx;
 }
 
 // ------------------------------------------------------------ MaxPool2d ----
 
-Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
+void MaxPool2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& /*ws*/) {
   assert(x.rank() == 4);
   in_shape_ = x.shape();
   const usize n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const usize oh = h / 2, ow = w / 2;
-  Tensor y({n, c, oh, ow});
+  y.resize({n, c, oh, ow});
   argmax_.assign(n * c * oh * ow, 0);
   usize out_idx = 0;
   for (usize b = 0; b < n; ++b) {
@@ -195,22 +245,21 @@ Tensor MaxPool2d::forward(const Tensor& x, bool /*train*/) {
       }
     }
   }
-  return y;
 }
 
-Tensor MaxPool2d::backward(const Tensor& dy) {
-  Tensor dx(in_shape_);
+void MaxPool2d::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
+  dx.resize(in_shape_);
+  dx.zero();
   for (usize i = 0; i < dy.size(); ++i) dx[argmax_[i]] += dy[i];
-  return dx;
 }
 
 // -------------------------------------------------------- GlobalAvgPool ----
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+void GlobalAvgPool::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& /*ws*/) {
   assert(x.rank() == 4);
   in_shape_ = x.shape();
   const usize n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
-  Tensor y({n, c});
+  y.resize({n, c});
   for (usize b = 0; b < n; ++b) {
     for (usize ch = 0; ch < c; ++ch) {
       double acc = 0.0;
@@ -219,12 +268,11 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
       y.at2(b, ch) = static_cast<float>(acc / static_cast<double>(hw));
     }
   }
-  return y;
 }
 
-Tensor GlobalAvgPool::backward(const Tensor& dy) {
+void GlobalAvgPool::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const usize n = in_shape_[0], c = in_shape_[1], hw = in_shape_[2] * in_shape_[3];
-  Tensor dx(in_shape_);
+  dx.resize(in_shape_);
   const float inv = 1.0f / static_cast<float>(hw);
   for (usize b = 0; b < n; ++b) {
     for (usize ch = 0; ch < c; ++ch) {
@@ -233,19 +281,22 @@ Tensor GlobalAvgPool::backward(const Tensor& dy) {
       for (usize i = 0; i < hw; ++i) p[i] = g;
     }
   }
-  return dx;
 }
 
 // -------------------------------------------------------------- Flatten ----
 
-Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+void Flatten::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& /*ws*/) {
   in_shape_ = x.shape();
   usize f = 1;
   for (usize i = 1; i < x.rank(); ++i) f *= x.dim(i);
-  return x.reshaped({x.dim(0), f});
+  y.resize({x.dim(0), f});
+  std::memcpy(y.data(), x.data(), x.size() * sizeof(float));
 }
 
-Tensor Flatten::backward(const Tensor& dy) { return dy.reshaped(in_shape_); }
+void Flatten::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
+  dx.resize(in_shape_);
+  std::memcpy(dx.data(), dy.data(), dy.size() * sizeof(float));
+}
 
 // ---------------------------------------------------------- BatchNorm2d ----
 
@@ -260,15 +311,15 @@ BatchNorm2d::BatchNorm2d(usize channels, float momentum, float eps)
       momentum_(momentum),
       eps_(eps) {}
 
-Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+void BatchNorm2d::forward_into(const Tensor& x, Tensor& y, bool train, Workspace& /*ws*/) {
   assert(x.rank() == 4 && x.dim(1) == channels_);
   in_shape_ = x.shape();
   const usize n = x.dim(0), c = channels_, hw = x.dim(2) * x.dim(3);
   const usize count = n * hw;
   batch_mean_.assign(c, 0.0f);
   batch_inv_std_.assign(c, 0.0f);
-  Tensor y(x.shape());
-  x_hat_ = Tensor(x.shape());
+  y.resize(x.shape());
+  x_hat_.resize(x.shape());
   for (usize ch = 0; ch < c; ++ch) {
     double mean = 0.0, var = 0.0;
     if (train) {
@@ -306,13 +357,12 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       }
     }
   }
-  return y;
 }
 
-Tensor BatchNorm2d::backward(const Tensor& dy) {
+void BatchNorm2d::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const usize n = in_shape_[0], c = channels_, hw = in_shape_[2] * in_shape_[3];
   const double count = static_cast<double>(n * hw);
-  Tensor dx(in_shape_);
+  dx.resize(in_shape_);
   for (usize ch = 0; ch < c; ++ch) {
     // Standard batch-norm backward using cached x_hat and inv_std.
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
@@ -339,7 +389,6 @@ Tensor BatchNorm2d::backward(const Tensor& dy) {
       }
     }
   }
-  return dx;
 }
 
 std::vector<ParamRef> BatchNorm2d::params() {
@@ -349,16 +398,54 @@ std::vector<ParamRef> BatchNorm2d::params() {
 
 // ------------------------------------------------------------ Sequential ----
 
-Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
-  for (auto& l : layers_) h = l->forward(h, train);
-  return h;
+const Tensor& Sequential::forward_cached(const Tensor& x, bool train, Workspace& ws) {
+  Tensor& x0 = ws.slot(this, Workspace::SlotKind::kActivation, 0);
+  x0 = x;
+  const Tensor* in = &x0;
+  for (usize i = 0; i < layers_.size(); ++i) {
+    Tensor& out = ws.slot(this, Workspace::SlotKind::kActivation, i + 1);
+    layers_[i]->forward_into(*in, out, train, ws);
+    in = &out;
+  }
+  clean_frontier_ = layers_.size();
+  cache_ws_ = &ws;
+  return *in;
 }
 
-Tensor Sequential::backward(const Tensor& dy) {
-  Tensor g = dy;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
-  return g;
+const Tensor& Sequential::forward_from(usize first_changed, bool train, Workspace& ws) {
+  if (cache_ws_ != &ws) {
+    throw std::logic_error(
+        "Sequential::forward_from: no cached forward to reuse in this workspace");
+  }
+  // Activations beyond the clean frontier may carry an earlier probe's
+  // perturbation; restart from whichever is earlier.
+  const usize start = std::min(first_changed, clean_frontier_);
+  const Tensor* in = &ws.slot(this, Workspace::SlotKind::kActivation, start);
+  for (usize i = start; i < layers_.size(); ++i) {
+    Tensor& out = ws.slot(this, Workspace::SlotKind::kActivation, i + 1);
+    layers_[i]->forward_into(*in, out, train, ws);
+    in = &out;
+  }
+  clean_frontier_ = std::min(first_changed, layers_.size());
+  return *in;
+}
+
+const Tensor& Sequential::backward_cached(const Tensor& dy, Workspace& ws) {
+  const Tensor* g = &dy;
+  for (usize i = layers_.size(); i-- > 0;) {
+    Tensor& gx = ws.slot(this, Workspace::SlotKind::kGradient, i);
+    layers_[i]->backward_into(*g, gx, ws);
+    g = &gx;
+  }
+  return *g;
+}
+
+void Sequential::forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) {
+  y = forward_cached(x, train, ws);
+}
+
+void Sequential::backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) {
+  dx = backward_cached(dy, ws);
 }
 
 std::vector<Tensor*> Sequential::state_tensors() {
@@ -374,6 +461,9 @@ std::vector<ParamRef> Sequential::params() {
   for (usize i = 0; i < layers_.size(); ++i) {
     for (auto& p : layers_[i]->params()) {
       p.name = std::to_string(i) + "." + layers_[i]->name() + "." + p.name;
+      // The outermost Sequential wins, so after Model::params() this is the
+      // index within the model's top-level net -- the forward_from argument.
+      p.top_layer = i;
       out.push_back(p);
     }
   }
@@ -395,33 +485,30 @@ ResidualBlock::ResidualBlock(usize in_ch, usize out_ch, usize stride, sys::Rng& 
   }
 }
 
-Tensor ResidualBlock::forward(const Tensor& x, bool train) {
-  x_cache_ = x;
-  Tensor f = body_.forward(x, train);
-  Tensor s = projection_ ? projection_->forward(x, train) : x;
+void ResidualBlock::forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) {
+  const Tensor& f = body_.forward_cached(x, train, ws);
+  const Tensor& s = projection_ ? projection_->forward_cached(x, train, ws) : x;
   assert(f.size() == s.size());
-  Tensor y(f.shape());
-  sum_mask_ = Tensor(f.shape());
+  y.resize(f.shape());
+  sum_mask_.resize(f.shape());
   for (usize i = 0; i < f.size(); ++i) {
     const float v = f[i] + s[i];
     const bool pos = v > 0.0f;
     sum_mask_[i] = pos ? 1.0f : 0.0f;
     y[i] = pos ? v : 0.0f;
   }
-  return y;
 }
 
-Tensor ResidualBlock::backward(const Tensor& dy) {
-  Tensor dsum(dy.shape());
+void ResidualBlock::backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) {
+  Tensor& dsum = ws.slot(this, Workspace::SlotKind::kScratch, 0);
+  dsum.resize(dy.shape());
   for (usize i = 0; i < dy.size(); ++i) dsum[i] = dy[i] * sum_mask_[i];
-  Tensor dx_body = body_.backward(dsum);
+  dx = body_.backward_cached(dsum, ws);
   if (projection_) {
-    Tensor dx_proj = projection_->backward(dsum);
-    dx_body.add_(dx_proj);
-    return dx_body;
+    dx.add_(projection_->backward_cached(dsum, ws));
+  } else {
+    dx.add_(dsum);
   }
-  dx_body.add_(dsum);
-  return dx_body;
 }
 
 std::vector<Tensor*> ResidualBlock::state_tensors() {

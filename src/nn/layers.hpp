@@ -1,13 +1,23 @@
 // Neural-network layers with full forward/backward passes. Every layer caches
 // what its backward pass needs during forward; backward accumulates parameter
 // gradients (call Model::zero_grad between batches) and returns dL/dx.
+//
+// The compute API is arena-based: forward_into/backward_into write into
+// caller-provided tensors and draw all scratch from a Workspace, so the
+// steady state performs zero heap allocations. Dense and Conv2d lower onto
+// the cache-blocked GEMM in nn/gemm.hpp (Conv2d via im2col) while preserving
+// the naive loops' per-output accumulation order bit-exactly. The
+// value-returning forward/backward wrappers remain for tests and one-off use.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/conv_patch.hpp"
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 
 namespace dnnd::nn {
 
@@ -20,6 +30,11 @@ struct ParamRef {
   Tensor* value = nullptr;
   Tensor* grad = nullptr;
   bool quantizable = false;
+  /// Index of the layer that owns this parameter within the outermost
+  /// Sequential that enumerated it (the Model's net for Model::params()).
+  /// This is the `first_changed` argument Sequential::forward_from needs to
+  /// incrementally re-evaluate after the parameter is perturbed.
+  usize top_layer = 0;
 };
 
 /// Abstract layer.
@@ -27,13 +42,20 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output. `train` toggles batch-statistics behaviour
-  /// (BatchNorm) -- it does not change caching; backward is always legal
-  /// after forward.
-  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// Computes the layer output into `y` (resized as needed). `train` toggles
+  /// batch-statistics behaviour (BatchNorm) -- it does not change caching;
+  /// backward is always legal after forward. All scratch comes from `ws`;
+  /// with stable shapes and workspace this allocates nothing.
+  virtual void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) = 0;
 
-  /// Propagates dL/dy -> dL/dx, accumulating parameter gradients.
-  virtual Tensor backward(const Tensor& dy) = 0;
+  /// Propagates dL/dy -> dL/dx into `dx`, accumulating parameter gradients.
+  virtual void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) = 0;
+
+  /// Value-returning convenience wrappers over the arena API. They run
+  /// against a layer-owned workspace; the engine paths (Model, attacks)
+  /// use the *_into forms with the model's workspace instead.
+  Tensor forward(const Tensor& x, bool train);
+  Tensor backward(const Tensor& dy);
 
   /// Parameter views (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
@@ -43,6 +65,9 @@ class Layer {
   virtual std::vector<Tensor*> state_tensors() { return {}; }
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+ private:
+  std::unique_ptr<Workspace> legacy_ws_;  ///< lazily created for the wrappers
 };
 
 /// Fully-connected layer: y = x W^T + b, W: {out, in}.
@@ -50,8 +75,8 @@ class Dense final : public Layer {
  public:
   Dense(usize in_features, usize out_features, sys::Rng& rng);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::string name() const override { return "dense"; }
 
@@ -68,13 +93,14 @@ class Dense final : public Layer {
   Tensor x_cache_;
 };
 
-/// 2-D convolution, square kernel, NCHW. y = conv(x, W) + b.
+/// 2-D convolution, square kernel, NCHW. y = conv(x, W) + b, computed as a
+/// GEMM over im2col patches (weight rows x patch rows).
 class Conv2d final : public Layer {
  public:
   Conv2d(usize in_ch, usize out_ch, usize kernel, usize stride, usize padding, sys::Rng& rng);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   std::vector<ParamRef> params() override;
   [[nodiscard]] std::string name() const override { return "conv2d"; }
 
@@ -86,6 +112,12 @@ class Conv2d final : public Layer {
   Tensor dbias;
 
  private:
+  [[nodiscard]] ConvGeom geom(usize h, usize w) const {
+    return {in_ch_, k_, stride_, pad_, h, w, out_size(h), out_size(w)};
+  }
+  /// Gathers sample `b`'s patches into `col`, patch-major: col[p*K + kk].
+  void im2col(const Tensor& x, usize b, const ConvGeom& g, float* col) const;
+
   usize in_ch_, out_ch_, k_, stride_, pad_;
   Tensor x_cache_;
 };
@@ -93,8 +125,8 @@ class Conv2d final : public Layer {
 /// Elementwise max(x, 0).
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "relu"; }
 
  private:
@@ -104,8 +136,8 @@ class ReLU final : public Layer {
 /// 2x2 max pooling with stride 2 (the only configuration the zoo needs).
 class MaxPool2d final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "maxpool2d"; }
 
  private:
@@ -116,8 +148,8 @@ class MaxPool2d final : public Layer {
 /// Global average pooling: {N,C,H,W} -> {N,C}.
 class GlobalAvgPool final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "gap"; }
 
  private:
@@ -127,8 +159,8 @@ class GlobalAvgPool final : public Layer {
 /// {N,C,H,W} -> {N, C*H*W}.
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   [[nodiscard]] std::string name() const override { return "flatten"; }
 
  private:
@@ -140,8 +172,8 @@ class BatchNorm2d final : public Layer {
  public:
   explicit BatchNorm2d(usize channels, float momentum = 0.1f, float eps = 1e-5f);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   std::vector<ParamRef> params() override;
   std::vector<Tensor*> state_tensors() override { return {&running_mean, &running_var}; }
   [[nodiscard]] std::string name() const override { return "batchnorm2d"; }
@@ -159,7 +191,8 @@ class BatchNorm2d final : public Layer {
 };
 
 /// Executes contained layers in order. Used standalone and as the body of
-/// residual blocks.
+/// residual blocks. Caches every layer's activation in the workspace, which
+/// is what makes incremental re-evaluation (forward_from) possible.
 class Sequential final : public Layer {
  public:
   Sequential() = default;
@@ -168,14 +201,47 @@ class Sequential final : public Layer {
   [[nodiscard]] usize layer_count() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(usize i) { return *layers_.at(i); }
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  /// Runs the full network, caching each layer's activation in `ws` (slots
+  /// keyed by this Sequential; slot 0 holds a copy of the input). Returns a
+  /// reference to the final activation, valid until the next call using `ws`.
+  const Tensor& forward_cached(const Tensor& x, bool train, Workspace& ws);
+
+  /// Incremental re-evaluation after the parameters of layer `first_changed`
+  /// (and only that layer) were perturbed: recomputes layers >= the earliest
+  /// layer whose cached activation could be stale and returns the new final
+  /// activation. Cost scales with the remaining depth, not the full network.
+  ///
+  /// Contract: a forward_cached on the same input batch and workspace must
+  /// precede; interleaved probes at different layers are handled (the
+  /// internal frontier tracks how much of the cache is still clean), but the
+  /// cached prefix is only valid as long as layers before `first_changed`
+  /// keep their parameters. Throws std::logic_error without a prior cache.
+  const Tensor& forward_from(usize first_changed, bool train, Workspace& ws);
+
+  /// dL/d(input) of the last forward, via workspace gradient slots.
+  const Tensor& backward_cached(const Tensor& dy, Workspace& ws);
+
+  /// Records that the parameters of layer `first_changed` were mutated
+  /// outside a probe (e.g. a committed flip), so cached activations beyond it
+  /// are stale. O(1); forward_from restarts from the clamped frontier.
+  void invalidate_from(usize first_changed) {
+    clean_frontier_ = std::min(clean_frontier_, first_changed);
+  }
+
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   std::vector<ParamRef> params() override;
   std::vector<Tensor*> state_tensors() override;
   [[nodiscard]] std::string name() const override { return "sequential"; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  /// Activations 0..clean_frontier_ in the cache were computed with the
+  /// current (un-probed) parameters of their producing layers. The cache
+  /// lives in exactly one workspace at a time (cache_ws_); forward_from
+  /// against any other workspace is rejected.
+  usize clean_frontier_ = 0;
+  const Workspace* cache_ws_ = nullptr;
 };
 
 /// ResNet basic block: y = relu(F(x) + shortcut(x)), where F is
@@ -185,8 +251,8 @@ class ResidualBlock final : public Layer {
   /// stride > 1 or in_ch != out_ch selects a projection shortcut.
   ResidualBlock(usize in_ch, usize out_ch, usize stride, sys::Rng& rng);
 
-  Tensor forward(const Tensor& x, bool train) override;
-  Tensor backward(const Tensor& dy) override;
+  void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
+  void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;
   std::vector<ParamRef> params() override;
   std::vector<Tensor*> state_tensors() override;
   [[nodiscard]] std::string name() const override { return "resblock"; }
@@ -194,7 +260,6 @@ class ResidualBlock final : public Layer {
  private:
   Sequential body_;
   std::unique_ptr<Sequential> projection_;  ///< null for identity shortcut
-  Tensor x_cache_;
   Tensor sum_mask_;  ///< relu mask of (F(x) + shortcut)
 };
 

@@ -17,58 +17,98 @@ void row_softmax(const float* logits, usize c, std::vector<double>& probs) {
   }
   for (usize j = 0; j < c; ++j) probs[j] /= denom;
 }
+
+/// Per-thread softmax scratch so the loss helpers allocate nothing in steady
+/// state (the campaign harness evaluates models from many threads at once).
+std::vector<double>& probs_scratch(usize c) {
+  thread_local std::vector<double> probs;
+  if (probs.size() < c) probs.resize(c);
+  return probs;
+}
+
+usize argmax_row(const float* row, usize c) {
+  usize best = 0;
+  for (usize j = 1; j < c; ++j) {
+    if (row[j] > row[best]) best = j;
+  }
+  return best;
+}
+
+/// Shared per-row evaluation: softmax into `probs`, cross-entropy term for
+/// label `y`, and whether the argmax hits it. Single source of the clamp and
+/// stabilization all loss entry points must agree on bit-for-bit.
+double row_loss_and_hit(const float* row, usize c, u32 y, std::vector<double>& probs,
+                        bool& hit) {
+  row_softmax(row, c, probs);
+  hit = argmax_row(row, c) == y;
+  return -std::log(std::max(probs[y], 1e-12));
+}
 }  // namespace
 
-LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels) {
+void softmax_cross_entropy_into(const Tensor& logits, const std::vector<u32>& labels,
+                                LossResult& out) {
   assert(logits.rank() == 2);
   const usize n = logits.dim(0), c = logits.dim(1);
   assert(labels.size() == n);
-  LossResult out;
-  out.dlogits = Tensor({n, c});
-  std::vector<double> probs(c);
+  out.dlogits.resize({n, c});
+  out.correct = 0;
+  std::vector<double>& probs = probs_scratch(c);
   double total = 0.0;
   for (usize i = 0; i < n; ++i) {
     const float* row = logits.data() + i * c;
-    row_softmax(row, c, probs);
     const u32 y = labels[i];
     assert(y < c);
-    total += -std::log(std::max(probs[y], 1e-12));
-    usize best = 0;
-    for (usize j = 1; j < c; ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    if (best == y) out.correct += 1;
+    bool hit = false;
+    total += row_loss_and_hit(row, c, y, probs, hit);
+    if (hit) out.correct += 1;
     for (usize j = 0; j < c; ++j) {
       out.dlogits.at2(i, j) =
           static_cast<float>((probs[j] - (j == y ? 1.0 : 0.0)) / static_cast<double>(n));
     }
   }
   out.loss = total / static_cast<double>(n);
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels) {
+  LossResult out;
+  softmax_cross_entropy_into(logits, labels, out);
   return out;
 }
 
 double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<u32>& labels) {
   assert(logits.rank() == 2);
   const usize n = logits.dim(0), c = logits.dim(1);
-  std::vector<double> probs(c);
+  std::vector<double>& probs = probs_scratch(c);
   double total = 0.0;
   for (usize i = 0; i < n; ++i) {
-    row_softmax(logits.data() + i * c, c, probs);
-    total += -std::log(std::max(probs[labels[i]], 1e-12));
+    bool hit = false;
+    total += row_loss_and_hit(logits.data() + i * c, c, labels[i], probs, hit);
   }
   return total / static_cast<double>(n);
+}
+
+BatchEval evaluate_logits(const Tensor& logits, const std::vector<u32>& labels) {
+  assert(logits.rank() == 2);
+  const usize n = logits.dim(0), c = logits.dim(1);
+  assert(labels.size() == n);
+  std::vector<double>& probs = probs_scratch(c);
+  BatchEval out;
+  double total = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    bool hit = false;
+    total += row_loss_and_hit(logits.data() + i * c, c, labels[i], probs, hit);
+    if (hit) out.correct += 1;
+  }
+  out.loss = total / static_cast<double>(n == 0 ? 1 : n);
+  out.accuracy = static_cast<double>(out.correct) / static_cast<double>(n == 0 ? 1 : n);
+  return out;
 }
 
 std::vector<u32> argmax_rows(const Tensor& logits) {
   const usize n = logits.dim(0), c = logits.dim(1);
   std::vector<u32> out(n);
   for (usize i = 0; i < n; ++i) {
-    const float* row = logits.data() + i * c;
-    usize best = 0;
-    for (usize j = 1; j < c; ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    out[i] = static_cast<u32>(best);
+    out[i] = static_cast<u32>(argmax_row(logits.data() + i * c, c));
   }
   return out;
 }

@@ -14,12 +14,31 @@ struct LossResult {
   usize correct = 0;      ///< argmax hits, for accuracy bookkeeping
 };
 
+/// Loss plus argmax accuracy derived from one logits tensor -- the shared
+/// evaluation result of Model::evaluate_batch / evaluate_logits, which
+/// replaces the loss-then-second-forward-for-accuracy pattern.
+struct BatchEval {
+  double loss = 0.0;
+  double accuracy = 0.0;  ///< correct / batch size
+  usize correct = 0;      ///< argmax hits
+};
+
 /// Computes mean softmax cross-entropy and its gradient for logits {N, C}.
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels);
+
+/// In-place variant: writes into `out` (dlogits resized, not reallocated in
+/// steady state). Identical arithmetic to softmax_cross_entropy.
+void softmax_cross_entropy_into(const Tensor& logits, const std::vector<u32>& labels,
+                                LossResult& out);
 
 /// Loss only (no gradient allocation) -- used by attack inner loops where
 /// only the scalar matters.
 double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<u32>& labels);
+
+/// Loss and argmax accuracy from one logits tensor, allocation-free. The
+/// loss matches softmax_cross_entropy_loss and the accuracy matches
+/// argmax_rows-based counting bit-for-bit.
+BatchEval evaluate_logits(const Tensor& logits, const std::vector<u32>& labels);
 
 /// Argmax class per row of logits {N, C}.
 std::vector<u32> argmax_rows(const Tensor& logits);

@@ -39,27 +39,26 @@ usize Model::weight_count() {
   return n;
 }
 
-LossResult Model::loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
-                                bool train_mode) {
-  Tensor logits = forward(x, train_mode);
-  LossResult res = softmax_cross_entropy(logits, labels);
-  backward(res.dlogits);
-  return res;
+const LossResult& Model::loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
+                                       bool train_mode) {
+  const Tensor& logits = forward_cached(x, train_mode);
+  softmax_cross_entropy_into(logits, labels, loss_scratch_);
+  net_.backward_cached(loss_scratch_.dlogits, ws_);
+  return loss_scratch_;
 }
 
 double Model::loss(const Tensor& x, const std::vector<u32>& labels) {
-  Tensor logits = forward(x, /*train=*/false);
+  const Tensor& logits = forward_cached(x, /*train=*/false);
   return softmax_cross_entropy_loss(logits, labels);
 }
 
+BatchEval Model::evaluate_batch(const Tensor& x, const std::vector<u32>& labels) {
+  const Tensor& logits = forward_cached(x, /*train=*/false);
+  return evaluate_logits(logits, labels);
+}
+
 double Model::accuracy(const Tensor& x, const std::vector<u32>& labels) {
-  Tensor logits = forward(x, /*train=*/false);
-  const auto pred = argmax_rows(logits);
-  usize hits = 0;
-  for (usize i = 0; i < pred.size(); ++i) {
-    if (pred[i] == labels[i]) ++hits;
-  }
-  return static_cast<double>(hits) / static_cast<double>(pred.size() == 0 ? 1 : pred.size());
+  return evaluate_batch(x, labels).accuracy;
 }
 
 }  // namespace dnnd::nn

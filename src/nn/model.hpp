@@ -1,6 +1,13 @@
 // Model: a Sequential network plus the bookkeeping the trainer, quantizer,
 // and attacks need -- flat parameter enumeration, gradient reset, batch
 // forward/backward, and prediction helpers.
+//
+// The model owns the Workspace arena its network computes in: forward_cached
+// runs the full net and caches every layer activation there (zero heap
+// allocations in steady state), and forward_from(k) incrementally re-
+// evaluates layers >= k over the cached prefix -- the probe primitive the
+// BFA-family attacks use to price candidate bit flips at a cost proportional
+// to the remaining depth instead of the whole network.
 #pragma once
 
 #include <memory>
@@ -21,12 +28,31 @@ class Model {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Sequential& net() { return net_; }
+  [[nodiscard]] Workspace& workspace() { return ws_; }
 
-  /// Forward pass; `train` selects batch statistics for BatchNorm.
-  Tensor forward(const Tensor& x, bool train = false) { return net_.forward(x, train); }
+  /// Full forward pass through the model workspace; returns a reference to
+  /// the cached logits (valid until the next forward/backward on this model).
+  /// `train` selects batch statistics for BatchNorm.
+  const Tensor& forward_cached(const Tensor& x, bool train = false) {
+    return net_.forward_cached(x, train, ws_);
+  }
+
+  /// Incremental re-evaluation after perturbing parameters of top-level layer
+  /// `first_changed` (see Sequential::forward_from for the cache contract).
+  const Tensor& forward_from(usize first_changed, bool train = false) {
+    return net_.forward_from(first_changed, train, ws_);
+  }
+
+  /// Marks cached activations beyond top-level layer `first_changed` stale
+  /// after a parameter mutation (committed flips route through this via
+  /// QuantizedModel so a later forward_from cannot read pre-flip state).
+  void invalidate_from(usize first_changed) { net_.invalidate_from(first_changed); }
+
+  /// Value-returning forward for callers that keep the logits.
+  Tensor forward(const Tensor& x, bool train = false) { return forward_cached(x, train); }
 
   /// Backward pass from dL/dlogits.
-  void backward(const Tensor& dlogits) { net_.backward(dlogits); }
+  void backward(const Tensor& dlogits) { net_.backward_cached(dlogits, ws_); }
 
   /// All parameters in declaration order with hierarchical names.
   std::vector<ParamRef> params() { return net_.params(); }
@@ -49,11 +75,18 @@ class Model {
   /// Computes loss and accumulates gradients on a batch. Uses train=false
   /// statistics by default (the BFA computes gradients of the *inference*
   /// loss, i.e. with frozen BatchNorm statistics, per the threat model).
-  LossResult loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
-                           bool train_mode = false);
+  /// The returned reference aliases model-owned scratch: read it before the
+  /// next loss_and_grad call.
+  const LossResult& loss_and_grad(const Tensor& x, const std::vector<u32>& labels,
+                                  bool train_mode = false);
 
   /// Loss only, no gradients.
   double loss(const Tensor& x, const std::vector<u32>& labels);
+
+  /// Loss and argmax accuracy from ONE forward pass -- the shared evaluation
+  /// helper the attacks and the campaign harness use instead of separate
+  /// loss()/accuracy() calls (which would forward twice).
+  BatchEval evaluate_batch(const Tensor& x, const std::vector<u32>& labels);
 
   /// Fraction of correct argmax predictions on (x, labels).
   double accuracy(const Tensor& x, const std::vector<u32>& labels);
@@ -61,6 +94,8 @@ class Model {
  private:
   std::string name_;
   Sequential net_;
+  Workspace ws_;
+  LossResult loss_scratch_;  ///< reused by loss_and_grad (zero-alloc steady state)
 };
 
 }  // namespace dnnd::nn

@@ -1,0 +1,51 @@
+#include "nn/reference.hpp"
+
+#include <cassert>
+
+namespace dnnd::nn::reference {
+
+void dense_forward(const Tensor& x, const Tensor& weight, const Tensor& bias, Tensor& y) {
+  const usize n = x.dim(0), in = x.dim(1), out = weight.dim(0);
+  assert(y.dim(0) == n && y.dim(1) == out);
+  for (usize i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in;
+    for (usize o = 0; o < out; ++o) {
+      const float* w = weight.data() + o * in;
+      float acc = bias[o];
+      for (usize j = 0; j < in; ++j) acc += w[j] * xi[j];
+      y.at2(i, o) = acc;
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias, usize stride,
+                    usize pad, Tensor& y) {
+  const usize n = x.dim(0), in_ch = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const usize out_ch = weight.dim(0), k = weight.dim(2);
+  const usize oh = y.dim(2), ow = y.dim(3);
+  assert(y.dim(0) == n && y.dim(1) == out_ch && weight.dim(1) == in_ch);
+  for (usize b = 0; b < n; ++b) {
+    for (usize oc = 0; oc < out_ch; ++oc) {
+      for (usize i = 0; i < oh; ++i) {
+        for (usize j = 0; j < ow; ++j) {
+          float acc = bias[oc];
+          for (usize ic = 0; ic < in_ch; ++ic) {
+            for (usize ki = 0; ki < k; ++ki) {
+              const isize hi = static_cast<isize>(i * stride + ki) - static_cast<isize>(pad);
+              if (hi < 0 || hi >= static_cast<isize>(h)) continue;
+              for (usize kj = 0; kj < k; ++kj) {
+                const isize wj = static_cast<isize>(j * stride + kj) - static_cast<isize>(pad);
+                if (wj < 0 || wj >= static_cast<isize>(w)) continue;
+                acc += weight.at4(oc, ic, ki, kj) *
+                       x.at4(b, ic, static_cast<usize>(hi), static_cast<usize>(wj));
+              }
+            }
+          }
+          y.at4(b, oc, i, j) = acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dnnd::nn::reference

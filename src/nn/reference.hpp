@@ -1,0 +1,22 @@
+// Retained naive reference kernels: verbatim copies of the original
+// hand-rolled Dense/Conv2d forward loops that the GEMM engine replaced.
+//
+// They exist for two reasons: (1) tests/test_gemm.cpp property-checks the
+// lowered GEMM/im2col path against them for bitwise-identical outputs over
+// randomized shapes, and (2) gemm::set_force_naive(true) routes the layers
+// back onto them so bench_inference can measure an honest naive-vs-engine
+// speedup on the same binary.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace dnnd::nn::reference {
+
+/// y[i,o] = bias[o] + sum_j weight[o,j] * x[i,j]. `y` must be {N, out}.
+void dense_forward(const Tensor& x, const Tensor& weight, const Tensor& bias, Tensor& y);
+
+/// NCHW convolution, square kernel. `y` must be pre-sized {N, out_ch, oh, ow}.
+void conv2d_forward(const Tensor& x, const Tensor& weight, const Tensor& bias, usize stride,
+                    usize pad, Tensor& y);
+
+}  // namespace dnnd::nn::reference

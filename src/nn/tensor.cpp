@@ -44,6 +44,11 @@ float Tensor::at4(usize n, usize c, usize h, usize w) const {
   return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
+void Tensor::resize(const std::vector<usize>& new_shape) {
+  shape_ = new_shape;
+  data_.resize(shape_size(shape_));
+}
+
 Tensor Tensor::reshaped(std::vector<usize> new_shape) const {
   assert(shape_size(new_shape) == size());
   Tensor t;

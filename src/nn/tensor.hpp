@@ -25,6 +25,9 @@ class Tensor {
 
   [[nodiscard]] const std::vector<usize>& shape() const { return shape_; }
   [[nodiscard]] usize size() const { return data_.size(); }
+  /// Allocated storage in elements (>= size); the workspace zero-allocation
+  /// tests pin this across steady-state iterations.
+  [[nodiscard]] usize capacity() const { return data_.capacity(); }
   [[nodiscard]] usize dim(usize i) const { return shape_.at(i); }
   [[nodiscard]] usize rank() const { return shape_.size(); }
 
@@ -44,6 +47,12 @@ class Tensor {
 
   /// Reinterprets the same storage under a new shape (sizes must match).
   [[nodiscard]] Tensor reshaped(std::vector<usize> new_shape) const;
+
+  /// Reshapes in place without initialising the data. Storage capacity is
+  /// retained on shrink and only grows monotonically, so resizing to a
+  /// previously seen size never reallocates -- the property the Workspace
+  /// arena's zero-allocation steady state relies on.
+  void resize(const std::vector<usize>& new_shape);
 
   void fill(float value);
   void zero() { fill(0.0f); }

@@ -25,7 +25,7 @@ TrainReport train(Model& model, const SplitDataset& data, const TrainConfig& cfg
                              order.begin() + static_cast<isize>(start + cfg.batch_size));
       auto [x, y] = data.train.gather(idx);
       model.zero_grad();
-      LossResult res = model.loss_and_grad(x, y, /*train_mode=*/true);
+      const LossResult& res = model.loss_and_grad(x, y, /*train_mode=*/true);
       opt.step();
       epoch_loss += res.loss;
       ++batches;
@@ -50,11 +50,7 @@ double evaluate(Model& model, const Dataset& data, usize batch_size) {
     std::vector<usize> idx(count);
     std::iota(idx.begin(), idx.end(), start);
     auto [x, y] = data.gather(idx);
-    Tensor logits = model.forward(x, /*train=*/false);
-    const auto pred = argmax_rows(logits);
-    for (usize i = 0; i < count; ++i) {
-      if (pred[i] == y[i]) ++hits;
-    }
+    hits += model.evaluate_batch(x, y).correct;
   }
   return static_cast<double>(hits) / static_cast<double>(n == 0 ? 1 : n);
 }
@@ -68,8 +64,7 @@ double evaluate_loss(Model& model, const Dataset& data, usize batch_size) {
     std::vector<usize> idx(count);
     std::iota(idx.begin(), idx.end(), start);
     auto [x, y] = data.gather(idx);
-    Tensor logits = model.forward(x, /*train=*/false);
-    total += softmax_cross_entropy_loss(logits, y) * static_cast<double>(count);
+    total += model.loss(x, y) * static_cast<double>(count);
     seen += count;
   }
   return total / static_cast<double>(seen == 0 ? 1 : seen);

@@ -1,0 +1,15 @@
+#include "nn/workspace.hpp"
+
+namespace dnnd::nn {
+
+Tensor& Workspace::slot(const void* owner, SlotKind kind, usize idx) {
+  const Key key{owner, static_cast<u32>(kind), static_cast<u64>(idx)};
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    it = slots_.emplace(key, Tensor{}).first;
+    ++alloc_events_;
+  }
+  return it->second;
+}
+
+}  // namespace dnnd::nn

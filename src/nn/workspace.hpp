@@ -1,0 +1,85 @@
+// Workspace: a per-model scratch arena for the inference engine.
+//
+// The engine's hot paths (Sequential::forward_cached / forward_from /
+// backward_cached and the GEMM lowering of Dense/Conv2d) never allocate their
+// own tensors. Instead every piece of scratch -- per-layer activations, the
+// im2col patch buffer, the GEMM pack panel, gradient intermediates, composite
+// layer temporaries -- lives in the model's Workspace and is reused across
+// iterations. Slots are keyed by (owner pointer, kind, index), created lazily
+// on first use, and retain their storage forever after, so the steady state
+// (same shapes, same workspace) performs zero heap allocations.
+//
+// `alloc_events()` counts arena growth (new slots, buffer grows); a constant
+// count across iterations is the observable zero-allocation invariant that
+// tests/test_inference_engine.cpp pins down.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dnnd::nn {
+
+class Workspace {
+ public:
+  /// Separate key spaces so one owner can hold activations, gradients, and
+  /// scratch under the same indices without collisions.
+  enum class SlotKind : u32 { kActivation = 0, kGradient = 1, kScratch = 2 };
+
+  /// The (lazily created) tensor slot for (owner, kind, idx). References stay
+  /// valid for the workspace lifetime (node-based map).
+  Tensor& slot(const void* owner, SlotKind kind, usize idx);
+
+  /// im2col patch buffer of at least `n` floats; grows monotonically.
+  float* col_buffer(usize n) { return grow(col_, n); }
+
+  /// GEMM panel-pack buffer of at least `n` floats; distinct from the col
+  /// buffer because both are live during a lowered convolution.
+  float* pack_buffer(usize n) { return grow(pack_, n); }
+
+  /// Arena growth events so far (slot creations and buffer grows). Constant
+  /// across steady-state iterations == no new arena structures. Pair with
+  /// slot_capacity() -- which sees reallocation of the slot tensors'
+  /// storage -- for the full zero-allocation invariant.
+  [[nodiscard]] usize alloc_events() const { return alloc_events_; }
+
+  /// Total allocated floats across slot tensors and the col/pack buffers.
+  [[nodiscard]] usize slot_capacity() const {
+    usize total = col_.capacity() + pack_.capacity();
+    for (const auto& [key, t] : slots_) total += t.capacity();
+    return total;
+  }
+
+  [[nodiscard]] usize slot_count() const { return slots_.size(); }
+
+ private:
+  struct Key {
+    const void* owner;
+    u32 kind;
+    u64 idx;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    usize operator()(const Key& k) const {
+      u64 h = reinterpret_cast<u64>(k.owner);
+      h = (h ^ (static_cast<u64>(k.kind) << 56) ^ k.idx) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<usize>(h ^ (h >> 32));
+    }
+  };
+
+  float* grow(std::vector<float>& buf, usize n) {
+    if (buf.size() < n) {
+      buf.resize(n);
+      ++alloc_events_;
+    }
+    return buf.data();
+  }
+
+  std::unordered_map<Key, Tensor, KeyHash> slots_;
+  std::vector<float> col_;
+  std::vector<float> pack_;
+  usize alloc_events_ = 0;
+};
+
+}  // namespace dnnd::nn

@@ -13,6 +13,7 @@ QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
     ql.name = p.name;
     ql.value = p.value;
     ql.grad = p.grad;
+    ql.net_layer = p.top_layer;
     const float amax = p.value->abs_max();
     ql.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
     ql.q.resize(p.value->size());
@@ -38,6 +39,7 @@ void QuantizedModel::materialize() {
       (*l.value)[i] = static_cast<float>(l.q[i]) * l.scale;
     }
   }
+  model_.invalidate_from(0);
 }
 
 void QuantizedModel::flip(const BitLocation& loc) {
@@ -45,6 +47,9 @@ void QuantizedModel::flip(const BitLocation& loc) {
   assert(loc.index < l.size());
   l.q[loc.index] = flip_bit_value(l.q[loc.index], loc.bit);
   (*l.value)[loc.index] = static_cast<float>(l.q[loc.index]) * l.scale;
+  // Keep the incremental-forward cache honest: activations computed from the
+  // pre-flip weight are stale from this layer on.
+  model_.invalidate_from(l.net_layer);
 }
 
 i8 QuantizedModel::get_q(usize layer, usize index) const {
@@ -55,6 +60,7 @@ void QuantizedModel::set_q(usize layer, usize index, i8 code) {
   QuantizedLayer& l = layers_.at(layer);
   l.q.at(index) = code;
   (*l.value)[index] = static_cast<float>(code) * l.scale;
+  model_.invalidate_from(l.net_layer);
 }
 
 std::vector<std::vector<i8>> QuantizedModel::snapshot() const {

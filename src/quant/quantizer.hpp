@@ -53,6 +53,10 @@ struct QuantizedLayer {
   float scale = 1.0f;
   nn::Tensor* value = nullptr;  ///< float weights used by inference
   nn::Tensor* grad = nullptr;   ///< gradient buffer of the float weights
+  /// Index of the owning layer in the model's top-level Sequential -- the
+  /// Model::forward_from argument that incrementally re-evaluates a flip in
+  /// this tensor (only layers >= net_layer can see the changed weight).
+  usize net_layer = 0;
 
   [[nodiscard]] usize size() const { return q.size(); }
 };

@@ -96,7 +96,7 @@ SystemAttackResult ProtectedSystem::run_white_box_attack(
     const std::vector<u32>& eval_y, usize max_attempts, double stop_accuracy,
     attack::BfaConfig bfa_cfg) {
   SystemAttackResult result;
-  result.initial_accuracy = qm_.model().accuracy(eval_x, eval_y);
+  result.initial_accuracy = qm_.model().evaluate_batch(eval_x, eval_y).accuracy;
   result.final_accuracy = result.initial_accuracy;
 
   attack::ProgressiveBitSearch search(qm_, attack_x, attack_y, bfa_cfg);
@@ -114,7 +114,7 @@ SystemAttackResult ProtectedSystem::run_white_box_attack(
       result.blocked += 1;
       learned_blocked.insert(rec->loc);
     }
-    result.final_accuracy = qm_.model().accuracy(eval_x, eval_y);
+    result.final_accuracy = qm_.model().evaluate_batch(eval_x, eval_y).accuracy;
     if (result.final_accuracy <= stop_accuracy) break;
   }
   return result;

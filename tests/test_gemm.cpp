@@ -1,0 +1,106 @@
+// Kernel-equivalence property tests: the GEMM/im2col engine path must be
+// bitwise identical to the retained naive reference kernels, across
+// randomized shapes including odd sizes, stride/padding edges, and batch 1/N.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "nn/reference.hpp"
+#include "nn/workspace.hpp"
+
+namespace dnnd::nn {
+namespace {
+
+void fill_random(Tensor& t, sys::Rng& rng) {
+  for (usize i = 0; i < t.size(); ++i) t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b, const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what << ": engine and naive outputs differ bitwise";
+}
+
+TEST(Gemm, MatchesNaiveDotProduct) {
+  sys::Rng rng(101);
+  Workspace ws;
+  for (int trial = 0; trial < 30; ++trial) {
+    const usize M = 1 + rng.uniform(20), N = 1 + rng.uniform(33), K = 1 + rng.uniform(70);
+    Tensor a({M, K}), b({N, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(bias, rng);
+    Tensor c({M, N}), ref({M, N});
+    gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, c.data(), N, bias.data(),
+                  gemm::Bias::kPerCol, ws);
+    for (usize m = 0; m < M; ++m) {
+      for (usize n = 0; n < N; ++n) {
+        float acc = bias[n];
+        for (usize k = 0; k < K; ++k) acc += a[m * K + k] * b[n * K + k];
+        ref.at2(m, n) = acc;
+      }
+    }
+    expect_bitwise_equal(c, ref, "gemm_nt trial " + std::to_string(trial));
+  }
+}
+
+TEST(Gemm, DenseForwardMatchesReference) {
+  sys::Rng rng(102);
+  for (int trial = 0; trial < 40; ++trial) {
+    const usize in = 1 + rng.uniform(40);
+    const usize out = 1 + rng.uniform(24);  // crosses the 8-wide panel boundary
+    const usize n = trial % 2 == 0 ? 1 : 2 + rng.uniform(5);
+    Dense d(in, out, rng);
+    Tensor x({n, in});
+    fill_random(x, rng);
+    fill_random(d.bias, rng);
+    const Tensor y = d.forward(x, /*train=*/false);
+    Tensor ref({n, out});
+    reference::dense_forward(x, d.weight, d.bias, ref);
+    expect_bitwise_equal(y, ref, "dense trial " + std::to_string(trial));
+  }
+}
+
+TEST(Gemm, Conv2dForwardMatchesReference) {
+  sys::Rng rng(103);
+  for (int trial = 0; trial < 60; ++trial) {
+    const usize in_ch = 1 + rng.uniform(4);
+    const usize out_ch = 1 + rng.uniform(10);
+    const usize k = 1 + rng.uniform(3);       // 1..3
+    const usize stride = 1 + rng.uniform(2);  // 1..2
+    const usize pad = rng.uniform(k + 1);     // 0..k (includes over-padding edges)
+    // Odd and even spatial sizes; must keep at least one output pixel.
+    usize h = 3 + rng.uniform(8), w = 3 + rng.uniform(8);
+    if (h + 2 * pad < k) h = k;
+    if (w + 2 * pad < k) w = k;
+    const usize n = trial % 3 == 0 ? 1 : 2 + rng.uniform(3);
+    Conv2d c(in_ch, out_ch, k, stride, pad, rng);
+    fill_random(c.bias, rng);
+    Tensor x({n, in_ch, h, w});
+    fill_random(x, rng);
+    const Tensor y = c.forward(x, /*train=*/false);
+    Tensor ref(y.shape());
+    reference::conv2d_forward(x, c.weight, c.bias, stride, pad, ref);
+    expect_bitwise_equal(y, ref,
+                         "conv trial " + std::to_string(trial) + " k=" + std::to_string(k) +
+                             " s=" + std::to_string(stride) + " p=" + std::to_string(pad));
+  }
+}
+
+TEST(Gemm, ForceNaiveRoutesLayersOntoReference) {
+  sys::Rng rng(104);
+  Dense d(13, 9, rng);
+  Tensor x({3, 13});
+  fill_random(x, rng);
+  const Tensor engine = d.forward(x, false);
+  gemm::set_force_naive(true);
+  const Tensor naive = d.forward(x, false);
+  gemm::set_force_naive(false);
+  ASSERT_FALSE(gemm::force_naive());
+  expect_bitwise_equal(engine, naive, "force_naive A/B");
+}
+
+}  // namespace
+}  // namespace dnnd::nn
