@@ -8,10 +8,13 @@
 //
 // Emits machine-readable JSON (the BENCH trajectory seed): to stdout, and to
 // the file named by DNND_JSON_OUT when set (the campaign sink convention).
+// The JSON carries a "threads" field (the resolved GEMM team size) so the CI
+// DNND_THREADS matrix uploads distinguishable artifacts.
 //
 //   DNND_BENCH_MODEL   zoo arch (default vgg11)
 //   DNND_BENCH_BATCH   batch size (default 32)
 //   DNND_BENCH_SCALE   small -> shorter timed windows
+//   DNND_THREADS       GEMM team size (0/unset = hardware concurrency)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,9 +58,11 @@ int main() {
     if (n > 0) batch = static_cast<usize>(n);
   }
   const double window = bench::small_scale() ? 0.1 : 0.5;
+  const usize threads = nn::gemm::threads();
 
   bench::banner("Inference engine throughput -- naive vs GEMM, incremental probes",
                 "engine microbenchmark (BENCH trajectory; not a paper figure)");
+  std::printf("[threads] GEMM team size: %zu\n", threads);
 
   auto model = models::make_by_name(arch, 10, /*seed=*/1);
   sys::Rng rng(99);
@@ -105,14 +110,25 @@ int main() {
   attack::BfaConfig bcfg;
   bcfg.max_flips = 1;
   // Every iteration searches the same clean model: the restore undoes the
-  // committed flip so timings don't drift with the iteration count (its cost,
-  // one dequantize pass, is ~1% of a step).
+  // committed flip so timings don't drift with the iteration count (the
+  // diff-aware restore rewrites only the flipped codes).
   const double step_engine = time_per_call(window, [&] {
     attack::ProgressiveBitSearch bfa(qm, x, y, bcfg);
     bfa.step({});
     qm.restore(clean_codes);
   });
-  std::printf("[bfa] one progressive-bit-search step: %.2f ms\n", step_engine * 1e3);
+  // A/B the fused int8 resident-panel path against the dequantize-
+  // materialize path (panels detached: every probe forward re-packs the
+  // float weights). Byte-identical results; only the wall clock moves.
+  qm.set_fused(false);
+  const double step_materialized = time_per_call(window, [&] {
+    attack::ProgressiveBitSearch bfa(qm, x, y, bcfg);
+    bfa.step({});
+    qm.restore(clean_codes);
+  });
+  qm.set_fused(true);
+  std::printf("[bfa] one progressive-bit-search step: %.2f ms fused, %.2f ms materialized\n",
+              step_engine * 1e3, step_materialized * 1e3);
 
   // ---- JSON -----------------------------------------------------------------
   sys::JsonWriter w;
@@ -120,11 +136,13 @@ int main() {
   w.key("bench").value("bench_inference");
   w.key("model").value(arch);
   w.key("batch").value(batch);
+  w.key("threads").value(threads);
   w.key("naive_images_per_s").value(naive_ips);
   w.key("engine_images_per_s").value(engine_ips);
   w.key("speedup").value(speedup);
   w.key("full_forward_us").value(full_us);
   w.key("bfa_step_ms").value(step_engine * 1e3);
+  w.key("bfa_step_materialized_ms").value(step_materialized * 1e3);
   w.key("forward_from_us").begin_array();
   for (usize k = 0; k < layers; ++k) {
     w.begin_object();

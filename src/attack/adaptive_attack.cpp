@@ -19,10 +19,12 @@ AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secure
   // The attacker first iterates through the secured candidates: every attempt
   // is refreshed away by the defense, so the model is unchanged. The trace
   // therefore starts at the clean accuracy.
-  result.accuracy_trace.push_back(qm_.model().evaluate_batch(eval_x_, eval_y_).accuracy);
+  result.accuracy_trace.push_back(qm_.model().evaluate_batch_incremental(eval_x_, eval_y_).accuracy);
 
   // Adapted search: progressive bit search that skips the secured set, i.e.
-  // only unprotected bits can land.
+  // only unprotected bits can land. The eval-batch measurements use the
+  // incremental helper: it degrades to a full forward whenever the preceding
+  // step left the cache on the attack batch, and reuses it otherwise.
   BfaConfig bfa_cfg = cfg_.bfa;
   bfa_cfg.max_flips = cfg_.max_additional_flips;
   ProgressiveBitSearch search(qm_, attack_x_, attack_y_, bfa_cfg);
@@ -31,7 +33,8 @@ AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secure
     if (!rec.has_value()) break;
     result.landed_flips.push_back(rec->loc);
     if (k % cfg_.measure_every == 0 || k == cfg_.max_additional_flips) {
-      result.accuracy_trace.push_back(qm_.model().evaluate_batch(eval_x_, eval_y_).accuracy);
+      result.accuracy_trace.push_back(
+          qm_.model().evaluate_batch_incremental(eval_x_, eval_y_).accuracy);
     }
   }
   return result;

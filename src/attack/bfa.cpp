@@ -20,11 +20,13 @@ double ProgressiveBitSearch::stop_threshold() const {
 
 std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& skip) {
   nn::Model& model = qm_.model();
-  // (1) gradients of the inference loss on the attack batch. This full pass
-  // also populates the model's activation cache, which every candidate probe
-  // below re-evaluates incrementally from its flip layer onward.
+  // (1) gradients of the inference loss on the attack batch. The forward
+  // half is incremental: when the previous step left a cache on this batch,
+  // only layers at/beyond the earliest flip/probe re-run (byte-identical to
+  // a full pass). It also (re)populates the activation cache every candidate
+  // probe below re-evaluates incrementally from its flip layer onward.
   model.zero_grad();
-  const double base_loss = model.loss_and_grad(attack_x_, attack_y_).loss;
+  const double base_loss = model.loss_and_grad_incremental(attack_x_, attack_y_).loss;
 
   // Effective exclusion: caller's skip set plus everything this search has
   // already flipped (BFA never undoes its own flips).

@@ -98,7 +98,7 @@ FlipAttempt DeepHammerAttack::attempt_flip(const quant::BitLocation& target) {
 
   const u64 budget = cfg_.act_budget_multiplier * device_.config().t_rh;
   const Picoseconds t0 = device_.now();
-  const auto& geo = device_.config().geo;
+  [[maybe_unused]] const auto& geo = device_.config().geo;
   u64 used = 0;
   while (used < budget) {
     const RowAddr current = remap_.to_physical(logical);

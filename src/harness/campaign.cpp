@@ -12,6 +12,8 @@
 #include "core/priority_profiler.hpp"
 #include "defense/software_defenses.hpp"
 #include "mapping/weight_mapping.hpp"
+#include "nn/gemm.hpp"
+#include "nn/thread_pool.hpp"
 #include "sys/json.hpp"
 #include "system/protected_system.hpp"
 
@@ -213,11 +215,26 @@ CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(cfg) {}
 CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
   CampaignResult out;
   out.results.resize(scenarios.size());
-  usize threads = cfg_.threads != 0
-                      ? cfg_.threads
-                      : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::max<usize>(1, std::min(threads, scenarios.size()));
+  const usize budget = cfg_.threads != 0
+                           ? cfg_.threads
+                           : std::max(1u, std::thread::hardware_concurrency());
+  const usize threads = std::max<usize>(1, std::min(budget, scenarios.size()));
   out.threads_used = threads;
+
+  // Split the thread budget between the two parallelism levels: scenario
+  // workers first (coarse, embarrassingly parallel), and whatever is left
+  // over per worker goes to each scenario's GEMM team -- so a single big
+  // scenario still uses the whole budget through the inference engine.
+  // Results are byte-identical for every split (both levels are
+  // bit-transparent by construction); restored after the run.
+  const usize prev_gemm_threads = nn::gemm::threads_setting();
+  const usize gemm_team = std::max<usize>(1, budget / threads);
+  nn::gemm::set_threads(gemm_team);
+  if (gemm_team > 1) {
+    // A region only spawns its own team's workers; provision for all
+    // scenario workers' regions running at once.
+    nn::ThreadPool::instance().reserve_workers(threads * (gemm_team - 1));
+  }
 
   const double t0 = now_seconds();
   std::atomic<usize> next{0};
@@ -244,6 +261,7 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
     for (usize t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
+  nn::gemm::set_threads(prev_gemm_threads);
   out.total_seconds = now_seconds() - t0;
   return out;
 }

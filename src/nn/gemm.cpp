@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <thread>
 
+#include "nn/thread_pool.hpp"
 #include "nn/workspace.hpp"
 
 namespace dnnd::nn::gemm {
@@ -10,6 +13,23 @@ namespace dnnd::nn::gemm {
 namespace {
 
 std::atomic<bool> g_force_naive{false};
+std::atomic<usize> g_threads{0};  ///< 0 = auto (env, then hardware)
+
+/// Work below this many multiply-accumulates runs serial: a pool region costs
+/// a few microseconds of synchronisation, which only pays off once the kernel
+/// itself is past that scale. Tiny campaign models stay serial through this.
+constexpr usize kParallelMinWork = usize{1} << 15;
+
+usize auto_threads() {
+  static const usize resolved = [] {
+    if (const char* v = std::getenv("DNND_THREADS"); v != nullptr) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n > 0) return static_cast<usize>(n);
+    }
+    return static_cast<usize>(std::max(1u, std::thread::hardware_concurrency()));
+  }();
+  return resolved;
+}
 
 /// B rows interleaved per panel: panel[k * kNr + r] = B[(n0 + r) * ldb + k].
 /// With 8 independent accumulators the inner k loop reads one contiguous
@@ -19,6 +39,10 @@ constexpr usize kNr = 8;
 
 /// M tile: bounds the live span of A rows streamed against one packed panel.
 constexpr usize kMc = 128;
+
+/// A rows per register tile -- also the grain of the threaded row split, so a
+/// team never cuts a tile in half.
+constexpr usize kMr = 8;
 
 void pack_panel(const float* B, usize ldb, usize rows, usize K, float* panel) {
   for (usize k = 0; k < K; ++k) {
@@ -32,24 +56,11 @@ inline float bias_for(const float* bias, Bias kind, usize n) {
   return kind == Bias::kPerCol ? bias[n] : 0.0f;
 }
 
-}  // namespace
-
-void set_force_naive(bool on) { g_force_naive.store(on, std::memory_order_relaxed); }
-bool force_naive() { return g_force_naive.load(std::memory_order_relaxed); }
-
-usize packed_b_size(usize N, usize K) { return ((N + kNr - 1) / kNr) * kNr * K; }
-
-void pack_b(const float* B, usize ldb, usize N, usize K, float* packed) {
-  for (usize n0 = 0; n0 < N; n0 += kNr) {
-    pack_panel(B + n0 * ldb, ldb, std::min(kNr, N - n0), K, packed + n0 * K);
-  }
-}
-
-void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
-                       const float* packed_b, float* C, usize crs, usize ccs,
-                       const float* bias, Bias bias_kind) {
-  if (M == 0 || N == 0) return;
-  constexpr usize kMr = 8;  // A rows per register tile
+/// The serial kernel body (the PR 3 gemm_nt_prepacked, verbatim): one float
+/// accumulator per output, advanced in ascending k. The threaded entry point
+/// below only ever calls this on disjoint output blocks.
+void kernel(usize M, usize N, usize K, const float* A, usize lda, const float* packed_b,
+            float* C, usize crs, usize ccs, const float* bias, Bias bias_kind) {
   for (usize n0 = 0; n0 < N; n0 += kNr) {
     const usize rows = std::min(kNr, N - n0);
     const float* panel = packed_b + n0 * K;
@@ -96,6 +107,90 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
         for (usize r = 0; r < rows; ++r) c[r * ccs] = acc[r];
       }
     }
+  }
+}
+
+}  // namespace
+
+void set_force_naive(bool on) { g_force_naive.store(on, std::memory_order_relaxed); }
+bool force_naive() { return g_force_naive.load(std::memory_order_relaxed); }
+
+void set_threads(usize n) { g_threads.store(n, std::memory_order_relaxed); }
+
+usize threads() {
+  const usize setting = g_threads.load(std::memory_order_relaxed);
+  return setting != 0 ? setting : auto_threads();
+}
+
+usize threads_setting() { return g_threads.load(std::memory_order_relaxed); }
+
+usize plan_teams(usize items, usize macs) {
+  if (items <= 1 || macs < kParallelMinWork || ThreadPool::in_region()) return 1;
+  return std::min(threads(), items);
+}
+
+usize packed_b_size(usize N, usize K) { return ((N + kNr - 1) / kNr) * kNr * K; }
+
+usize packed_index(usize n, usize k, usize K) {
+  return (n / kNr) * kNr * K + k * kNr + n % kNr;
+}
+
+void pack_b(const float* B, usize ldb, usize N, usize K, float* packed) {
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    pack_panel(B + n0 * ldb, ldb, std::min(kNr, N - n0), K, packed + n0 * K);
+  }
+}
+
+void pack_b_int8(const i8* q, usize N, usize K, float scale, float* packed) {
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    const usize rows = std::min(kNr, N - n0);
+    const i8* src = q + n0 * K;
+    float* panel = packed + n0 * K;
+    for (usize k = 0; k < K; ++k) {
+      float* dst = panel + k * kNr;
+      // Same arithmetic as QuantizedModel::materialize: float(q) * scale.
+      for (usize r = 0; r < rows; ++r) dst[r] = static_cast<float>(src[r * K + k]) * scale;
+      for (usize r = rows; r < kNr; ++r) dst[r] = 0.0f;
+    }
+  }
+}
+
+void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
+                       const float* packed_b, float* C, usize crs, usize ccs,
+                       const float* bias, Bias bias_kind) {
+  if (M == 0 || N == 0) return;
+  // Team planning is in units the split can actually hand out: whole 8-row
+  // register tiles (row split) or whole 8-column panels (panel split) --
+  // never more slots than there are tiles to own.
+  const usize row_tiles = (M + kMr - 1) / kMr;
+  const usize panels = (N + kNr - 1) / kNr;
+  const usize teams = plan_teams(std::max(row_tiles, panels), M * N * K);
+  if (teams <= 1) {
+    kernel(M, N, K, A, lda, packed_b, C, crs, ccs, bias, bias_kind);
+    return;
+  }
+  if (row_tiles >= teams) {
+    // Contiguous M row chunks (multiples of the register tile): every thread
+    // owns whole output rows, accumulators untouched.
+    ThreadPool::instance().parallel(teams, [&](usize slot, usize nslots) {
+      const usize chunk = (row_tiles + nslots - 1) / nslots * kMr;
+      const usize lo = std::min(M, slot * chunk), hi = std::min(M, lo + chunk);
+      if (lo < hi) {
+        kernel(hi - lo, N, K, A + lo * lda, lda, packed_b, C + lo * crs, crs, ccs, bias,
+               bias_kind);
+      }
+    });
+  } else {
+    // Fewer row tiles than the team: partition the packed B panels instead,
+    // so each thread owns whole output COLUMN groups (disjoint n0 blocks).
+    ThreadPool::instance().parallel(std::min(teams, panels), [&](usize slot, usize nslots) {
+      const usize chunk = (panels + nslots - 1) / nslots;
+      const usize p_lo = std::min(panels, slot * chunk), p_hi = std::min(panels, p_lo + chunk);
+      if (p_lo >= p_hi) return;
+      const usize n_lo = p_lo * kNr, n_hi = std::min(N, p_hi * kNr);
+      kernel(M, n_hi - n_lo, K, A, lda, packed_b + n_lo * K, C + n_lo * ccs, crs, ccs,
+             bias_kind == Bias::kPerCol ? bias + n_lo : bias, bias_kind);
+    });
   }
 }
 

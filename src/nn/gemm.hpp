@@ -14,6 +14,14 @@
 // packing only reorder *independent* accumulators, never the terms within
 // one, so the lowered path is bitwise identical to the naive path
 // (tests/test_gemm.cpp holds this over randomized shapes).
+//
+// Threading extends the same contract: the kernel partitions the OUTPUT
+// (contiguous M row chunks, or B panel groups when M is smaller than the
+// team) across an nn::ThreadPool team, so each accumulator still belongs to
+// exactly one thread and still sees its terms in ascending k. Threaded
+// results are therefore byte-identical to serial by construction, for every
+// team size (tests/test_gemm.cpp sweeps 1/2/4/hardware). The team size comes
+// from set_threads() / the DNND_THREADS env var.
 #pragma once
 
 #include "sys/types.hpp"
@@ -61,6 +69,31 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
 /// Process-global A/B switch for bench_inference; not used on any hot path.
 void set_force_naive(bool on);
 [[nodiscard]] bool force_naive();
+
+/// Sets the GEMM team size. 0 (the default) resolves to the DNND_THREADS env
+/// var, else to std::thread::hardware_concurrency(). Process-global; outputs
+/// are byte-identical for every value.
+void set_threads(usize n);
+/// The resolved team size (always >= 1).
+[[nodiscard]] usize threads();
+/// The raw set_threads() value (0 = auto) so callers can save and restore it.
+[[nodiscard]] usize threads_setting();
+
+/// Team size a parallel entry point should use for `items` independent work
+/// units totalling `macs` multiply-accumulates: min(threads(), items), or 1
+/// when threading is off, the work is too small to amortise a region, or the
+/// caller is already inside a pool region (nested parallelism runs serial).
+[[nodiscard]] usize plan_teams(usize items, usize macs);
+
+/// Packs an N x K int8 code matrix with dequant-on-load: the packed panel
+/// holds float(q) * scale, which is bit-for-bit the materialization
+/// arithmetic of quant::QuantizedModel -- so a GEMM over this panel is
+/// byte-identical to one over the packed dequantized float weights.
+void pack_b_int8(const i8* q, usize N, usize K, float scale, float* packed);
+
+/// Flat position of B element (n, k) inside the packed-panel layout; the
+/// fused int8 path uses it to update a single panel float per bit flip.
+[[nodiscard]] usize packed_index(usize n, usize k, usize K);
 
 }  // namespace gemm
 }  // namespace dnnd::nn

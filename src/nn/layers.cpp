@@ -8,8 +8,79 @@
 
 #include "nn/gemm.hpp"
 #include "nn/reference.hpp"
+#include "nn/thread_pool.hpp"
 
 namespace dnnd::nn {
+
+namespace {
+
+// Single source of truth for the Dense/Conv2d backward loop bodies. The
+// serial path runs one pass with both flags on; the threaded path runs a
+// dx-only pass partitioned over samples and a dweight/dbias-only pass
+// partitioned over outputs. Every gradient element receives exactly the same
+// terms in the same order in all three instantiations (dx[i] over ascending
+// outputs, dweight/dbias[o] over ascending samples), so serial and threaded
+// results are byte-identical.
+
+template <bool kDx, bool kDw>
+void dense_backward_span(const Tensor& dy, const Tensor& x, const Tensor& weight, usize in,
+                         usize i_lo, usize i_hi, usize o_lo, usize o_hi, Tensor& dx,
+                         Tensor& dweight, Tensor& dbias) {
+  for (usize i = i_lo; i < i_hi; ++i) {
+    const float* xi = x.data() + i * in;
+    float* dxi = dx.data() + i * in;
+    for (usize o = o_lo; o < o_hi; ++o) {
+      const float g = dy.at2(i, o);
+      if (g == 0.0f) continue;
+      const float* w = weight.data() + o * in;
+      float* dw = dweight.data() + o * in;
+      if constexpr (kDw) dbias[o] += g;
+      for (usize j = 0; j < in; ++j) {
+        if constexpr (kDw) dw[j] += g * xi[j];
+        if constexpr (kDx) dxi[j] += g * w[j];
+      }
+    }
+  }
+}
+
+template <bool kDx, bool kDw>
+void conv_backward_span(const ConvGeom& g, const Tensor& dy, const Tensor& x,
+                        const Tensor& weight, usize b_lo, usize b_hi, usize oc_lo,
+                        usize oc_hi, Tensor& dx, Tensor& dweight, Tensor& dbias) {
+  const usize K = g.patch_size();
+  for (usize b = b_lo; b < b_hi; ++b) {
+    const float* xb = x.data() + b * g.in_ch * g.h * g.w;
+    float* dxb = dx.data() + b * g.in_ch * g.h * g.w;
+    for (usize oc = oc_lo; oc < oc_hi; ++oc) {
+      float* dwoc = dweight.data() + oc * K;
+      const float* woc = weight.data() + oc * K;
+      for (usize i = 0; i < g.oh; ++i) {
+        for (usize j = 0; j < g.ow; ++j) {
+          const float gy = dy.at4(b, oc, i, j);
+          if (gy == 0.0f) continue;
+          if constexpr (kDw) dbias[oc] += gy;
+          for_each_patch_row(
+              g, i, j,
+              [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
+                  bool row_valid) {
+                if (!row_valid) return;
+                const float* xrow = xb + (ic * g.h + hi) * g.w + wj_lo;
+                float* dxrow = dxb + (ic * g.h + hi) * g.w + wj_lo;
+                float* dwrow = dwoc + kk_row + kj_lo;
+                const float* wrow = woc + kk_row + kj_lo;
+                const usize span = kj_hi - kj_lo;
+                for (usize t = 0; t < span; ++t) {
+                  if constexpr (kDw) dwrow[t] += gy * xrow[t];
+                  if constexpr (kDx) dxrow[t] += gy * wrow[t];
+                }
+              });
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 // ----------------------------------------------------------------- Layer ----
 
@@ -47,6 +118,13 @@ void Dense::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& 
     return;
   }
   // y = x W^T + b: both operands K-major, bias per output feature (column).
+  // With a resident panel attached (fused int8 path) the pack step vanishes:
+  // the panel already holds exactly what pack_b(weight) would produce.
+  if (const float* panel = packed_weight(); panel != nullptr) {
+    gemm::gemm_nt_prepacked(n, out_, in_, x.data(), in_, panel, y.data(), out_, 1,
+                            bias.data(), gemm::Bias::kPerCol);
+    return;
+  }
   gemm::gemm_nt(n, out_, in_, x.data(), in_, weight.data(), in_, y.data(), out_, bias.data(),
                 gemm::Bias::kPerCol, ws);
 }
@@ -56,26 +134,32 @@ void Dense::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   assert(dy.rank() == 2 && dy.dim(0) == n && dy.dim(1) == out_);
   dx.resize({n, in_});
   dx.zero();
-  for (usize i = 0; i < n; ++i) {
-    const float* xi = x_cache_.data() + i * in_;
-    float* dxi = dx.data() + i * in_;
-    for (usize o = 0; o < out_; ++o) {
-      const float g = dy.at2(i, o);
-      if (g == 0.0f) continue;
-      const float* w = weight.data() + o * in_;
-      float* dw = dweight.data() + o * in_;
-      dbias[o] += g;
-      for (usize j = 0; j < in_; ++j) {
-        dw[j] += g * xi[j];
-        dxi[j] += g * w[j];
-      }
-    }
+  const usize macs = n * out_ * in_;
+  if (gemm::plan_teams(std::max(n, out_), macs) <= 1) {
+    dense_backward_span<true, true>(dy, x_cache_, weight, in_, 0, n, 0, out_, dx, dweight,
+                                    dbias);
+    return;
   }
+  // Threaded: two race-free passes over the shared loop body -- dx rows are
+  // per-sample disjoint, dweight/dbias rows per-output disjoint (see
+  // dense_backward_span for the byte-identity argument).
+  ThreadPool::instance().parallel(gemm::plan_teams(n, macs), [&](usize slot, usize nslots) {
+    const usize chunk = (n + nslots - 1) / nslots;
+    const usize lo = std::min(n, slot * chunk), hi = std::min(n, lo + chunk);
+    dense_backward_span<true, false>(dy, x_cache_, weight, in_, lo, hi, 0, out_, dx, dweight,
+                                     dbias);
+  });
+  ThreadPool::instance().parallel(gemm::plan_teams(out_, macs), [&](usize slot, usize nslots) {
+    const usize chunk = (out_ + nslots - 1) / nslots;
+    const usize lo = std::min(out_, slot * chunk), hi = std::min(out_, lo + chunk);
+    dense_backward_span<false, true>(dy, x_cache_, weight, in_, 0, n, lo, hi, dx, dweight,
+                                     dbias);
+  });
 }
 
 std::vector<ParamRef> Dense::params() {
-  return {{"weight", &weight, &dweight, /*quantizable=*/true},
-          {"bias", &bias, &dbias, /*quantizable=*/false}};
+  return {{"weight", &weight, &dweight, /*quantizable=*/true, /*top_layer=*/0, this},
+          {"bias", &bias, &dbias, /*quantizable=*/false, /*top_layer=*/0, this}};
 }
 
 // --------------------------------------------------------------- Conv2d ----
@@ -138,9 +222,33 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace&
   // accumulator, and the accumulator can only be -0.0 if the bias is).
   const ConvGeom g = geom(h, w);
   const usize K = g.patch_size(), P = oh * ow;
+  const float* packed_w = packed_weight();
+  if (packed_w == nullptr) {
+    float* fresh = ws.pack_buffer(gemm::packed_b_size(out_ch_, K));
+    gemm::pack_b(weight.data(), K, out_ch_, K, fresh);  // once, not per sample
+    packed_w = fresh;
+  }
+  // Samples are independent GEMMs over disjoint output slices: partition the
+  // batch into contiguous chunks across the team (per-slot col buffers), and
+  // let the per-sample GEMM parallelise internally instead when the batch is
+  // a single sample. Either split is bit-transparent.
+  const usize teams = gemm::plan_teams(n, n * P * K * out_ch_);
+  if (teams > 1) {
+    ws.reserve_team(teams);
+    ThreadPool::instance().parallel(teams, [&](usize slot, usize nslots) {
+      const usize chunk = (n + nslots - 1) / nslots;
+      const usize lo = std::min(n, slot * chunk), hi = std::min(n, lo + chunk);
+      if (lo >= hi) return;
+      float* col = ws.col_buffer(P * K, slot);
+      for (usize b = lo; b < hi; ++b) {
+        im2col(x, b, g, col);
+        gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P,
+                                1, P, bias.data(), gemm::Bias::kPerCol);
+      }
+    });
+    return;
+  }
   float* col = ws.col_buffer(P * K);
-  float* packed_w = ws.pack_buffer(gemm::packed_b_size(out_ch_, K));
-  gemm::pack_b(weight.data(), K, out_ch_, K, packed_w);  // once, not per sample
   for (usize b = 0; b < n; ++b) {
     im2col(x, b, g, col);
     gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P, 1, P,
@@ -157,42 +265,30 @@ void Conv2d::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const usize K = g.patch_size();
   dx.resize({n, in_ch_, h, w});
   dx.zero();
-  const float* wt = weight.data();
-  for (usize b = 0; b < n; ++b) {
-    const float* xb = x.data() + b * in_ch_ * h * w;
-    float* dxb = dx.data() + b * in_ch_ * h * w;
-    for (usize oc = 0; oc < out_ch_; ++oc) {
-      float* dwoc = dweight.data() + oc * K;
-      const float* woc = wt + oc * K;
-      for (usize i = 0; i < oh; ++i) {
-        for (usize j = 0; j < ow; ++j) {
-          const float gy = dy.at4(b, oc, i, j);
-          if (gy == 0.0f) continue;
-          dbias[oc] += gy;
-          for_each_patch_row(
-              g, i, j,
-              [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
-                  bool row_valid) {
-                if (!row_valid) return;
-                const float* xrow = xb + (ic * h + hi) * w + wj_lo;
-                float* dxrow = dxb + (ic * h + hi) * w + wj_lo;
-                float* dwrow = dwoc + kk_row + kj_lo;
-                const float* wrow = woc + kk_row + kj_lo;
-                const usize span = kj_hi - kj_lo;
-                for (usize t = 0; t < span; ++t) {
-                  dwrow[t] += gy * xrow[t];
-                  dxrow[t] += gy * wrow[t];
-                }
-              });
-        }
-      }
-    }
+  const usize macs = n * out_ch_ * oh * ow * K;
+  if (gemm::plan_teams(std::max(n, out_ch_), macs) <= 1) {
+    conv_backward_span<true, true>(g, dy, x, weight, 0, n, 0, out_ch_, dx, dweight, dbias);
+    return;
   }
+  // Threaded: two race-free passes over the shared loop body -- dx slices are
+  // per-sample disjoint, dweight/dbias rows per-output-channel disjoint (see
+  // conv_backward_span for the byte-identity argument).
+  ThreadPool::instance().parallel(gemm::plan_teams(n, macs), [&](usize slot, usize nslots) {
+    const usize chunk = (n + nslots - 1) / nslots;
+    const usize lo = std::min(n, slot * chunk), hi = std::min(n, lo + chunk);
+    conv_backward_span<true, false>(g, dy, x, weight, lo, hi, 0, out_ch_, dx, dweight, dbias);
+  });
+  ThreadPool::instance().parallel(gemm::plan_teams(out_ch_, macs),
+                                  [&](usize slot, usize nslots) {
+    const usize chunk = (out_ch_ + nslots - 1) / nslots;
+    const usize lo = std::min(out_ch_, slot * chunk), hi = std::min(out_ch_, lo + chunk);
+    conv_backward_span<false, true>(g, dy, x, weight, 0, n, lo, hi, dx, dweight, dbias);
+  });
 }
 
 std::vector<ParamRef> Conv2d::params() {
-  return {{"weight", &weight, &dweight, /*quantizable=*/true},
-          {"bias", &bias, &dbias, /*quantizable=*/false}};
+  return {{"weight", &weight, &dweight, /*quantizable=*/true, /*top_layer=*/0, this},
+          {"bias", &bias, &dbias, /*quantizable=*/false, /*top_layer=*/0, this}};
 }
 
 // ----------------------------------------------------------------- ReLU ----
@@ -320,75 +416,90 @@ void BatchNorm2d::forward_into(const Tensor& x, Tensor& y, bool train, Workspace
   batch_inv_std_.assign(c, 0.0f);
   y.resize(x.shape());
   x_hat_.resize(x.shape());
-  for (usize ch = 0; ch < c; ++ch) {
-    double mean = 0.0, var = 0.0;
-    if (train) {
-      for (usize b = 0; b < n; ++b) {
-        const float* p = x.data() + (b * c + ch) * hw;
-        for (usize i = 0; i < hw; ++i) mean += p[i];
-      }
-      mean /= static_cast<double>(count);
-      for (usize b = 0; b < n; ++b) {
-        const float* p = x.data() + (b * c + ch) * hw;
-        for (usize i = 0; i < hw; ++i) {
-          const double d = p[i] - mean;
-          var += d * d;
+  // Channels are fully independent (statistics, normalisation, and running-
+  // stat updates all live per channel), so a channel partition is trivially
+  // byte-identical to the serial loop.
+  ThreadPool::instance().parallel(
+      gemm::plan_teams(c, 3 * x.size()), [&](usize slot, usize nslots) {
+        const usize chunk = (c + nslots - 1) / nslots;
+        const usize ch_lo = std::min(c, slot * chunk), ch_hi = std::min(c, ch_lo + chunk);
+        for (usize ch = ch_lo; ch < ch_hi; ++ch) {
+          double mean = 0.0, var = 0.0;
+          if (train) {
+            for (usize b = 0; b < n; ++b) {
+              const float* p = x.data() + (b * c + ch) * hw;
+              for (usize i = 0; i < hw; ++i) mean += p[i];
+            }
+            mean /= static_cast<double>(count);
+            for (usize b = 0; b < n; ++b) {
+              const float* p = x.data() + (b * c + ch) * hw;
+              for (usize i = 0; i < hw; ++i) {
+                const double d = p[i] - mean;
+                var += d * d;
+              }
+            }
+            var /= static_cast<double>(count);
+            running_mean[ch] = (1.0f - momentum_) * running_mean[ch] +
+                               momentum_ * static_cast<float>(mean);
+            running_var[ch] =
+                (1.0f - momentum_) * running_var[ch] + momentum_ * static_cast<float>(var);
+          } else {
+            mean = running_mean[ch];
+            var = running_var[ch];
+          }
+          const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+          batch_mean_[ch] = static_cast<float>(mean);
+          batch_inv_std_[ch] = inv_std;
+          for (usize b = 0; b < n; ++b) {
+            const float* p = x.data() + (b * c + ch) * hw;
+            float* xh = x_hat_.data() + (b * c + ch) * hw;
+            float* yp = y.data() + (b * c + ch) * hw;
+            for (usize i = 0; i < hw; ++i) {
+              xh[i] = (p[i] - static_cast<float>(mean)) * inv_std;
+              yp[i] = gamma[ch] * xh[i] + beta[ch];
+            }
+          }
         }
-      }
-      var /= static_cast<double>(count);
-      running_mean[ch] = (1.0f - momentum_) * running_mean[ch] +
-                         momentum_ * static_cast<float>(mean);
-      running_var[ch] =
-          (1.0f - momentum_) * running_var[ch] + momentum_ * static_cast<float>(var);
-    } else {
-      mean = running_mean[ch];
-      var = running_var[ch];
-    }
-    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-    batch_mean_[ch] = static_cast<float>(mean);
-    batch_inv_std_[ch] = inv_std;
-    for (usize b = 0; b < n; ++b) {
-      const float* p = x.data() + (b * c + ch) * hw;
-      float* xh = x_hat_.data() + (b * c + ch) * hw;
-      float* yp = y.data() + (b * c + ch) * hw;
-      for (usize i = 0; i < hw; ++i) {
-        xh[i] = (p[i] - static_cast<float>(mean)) * inv_std;
-        yp[i] = gamma[ch] * xh[i] + beta[ch];
-      }
-    }
-  }
+      });
 }
 
 void BatchNorm2d::backward_into(const Tensor& dy, Tensor& dx, Workspace& /*ws*/) {
   const usize n = in_shape_[0], c = channels_, hw = in_shape_[2] * in_shape_[3];
   const double count = static_cast<double>(n * hw);
   dx.resize(in_shape_);
-  for (usize ch = 0; ch < c; ++ch) {
-    // Standard batch-norm backward using cached x_hat and inv_std.
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (usize b = 0; b < n; ++b) {
-      const float* gy = dy.data() + (b * c + ch) * hw;
-      const float* xh = x_hat_.data() + (b * c + ch) * hw;
-      for (usize i = 0; i < hw; ++i) {
-        sum_dy += gy[i];
-        sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
-      }
-    }
-    dbeta[ch] += static_cast<float>(sum_dy);
-    dgamma[ch] += static_cast<float>(sum_dy_xhat);
-    const float g = gamma[ch], inv_std = batch_inv_std_[ch];
-    for (usize b = 0; b < n; ++b) {
-      const float* gy = dy.data() + (b * c + ch) * hw;
-      const float* xh = x_hat_.data() + (b * c + ch) * hw;
-      float* gx = dx.data() + (b * c + ch) * hw;
-      for (usize i = 0; i < hw; ++i) {
-        gx[i] = static_cast<float>(
-            static_cast<double>(g) * inv_std *
-            (static_cast<double>(gy[i]) - sum_dy / count -
-             static_cast<double>(xh[i]) * sum_dy_xhat / count));
-      }
-    }
-  }
+  // Per-channel independent (reductions, dgamma/dbeta, and dx slices), so the
+  // channel partition is byte-identical to the serial loop.
+  ThreadPool::instance().parallel(
+      gemm::plan_teams(c, 4 * dy.size()), [&](usize slot, usize nslots) {
+        const usize chunk = (c + nslots - 1) / nslots;
+        const usize ch_lo = std::min(c, slot * chunk), ch_hi = std::min(c, ch_lo + chunk);
+        for (usize ch = ch_lo; ch < ch_hi; ++ch) {
+          // Standard batch-norm backward using cached x_hat and inv_std.
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (usize b = 0; b < n; ++b) {
+            const float* gy = dy.data() + (b * c + ch) * hw;
+            const float* xh = x_hat_.data() + (b * c + ch) * hw;
+            for (usize i = 0; i < hw; ++i) {
+              sum_dy += gy[i];
+              sum_dy_xhat += static_cast<double>(gy[i]) * xh[i];
+            }
+          }
+          dbeta[ch] += static_cast<float>(sum_dy);
+          dgamma[ch] += static_cast<float>(sum_dy_xhat);
+          const float g = gamma[ch], inv_std = batch_inv_std_[ch];
+          for (usize b = 0; b < n; ++b) {
+            const float* gy = dy.data() + (b * c + ch) * hw;
+            const float* xh = x_hat_.data() + (b * c + ch) * hw;
+            float* gx = dx.data() + (b * c + ch) * hw;
+            for (usize i = 0; i < hw; ++i) {
+              gx[i] = static_cast<float>(
+                  static_cast<double>(g) * inv_std *
+                  (static_cast<double>(gy[i]) - sum_dy / count -
+                   static_cast<double>(xh[i]) * sum_dy_xhat / count));
+            }
+          }
+        }
+      });
 }
 
 std::vector<ParamRef> BatchNorm2d::params() {

@@ -21,6 +21,8 @@
 
 namespace dnnd::nn {
 
+class Layer;
+
 /// A named view of one parameter tensor and its gradient buffer.
 /// `quantizable` marks weights the BFA threat model targets (conv/dense
 /// weights); biases and batch-norm affine parameters are not quantized,
@@ -35,6 +37,10 @@ struct ParamRef {
   /// This is the `first_changed` argument Sequential::forward_from needs to
   /// incrementally re-evaluate after the parameter is perturbed.
   usize top_layer = 0;
+  /// The layer object the parameter belongs to (the innermost one, not a
+  /// wrapping Sequential). QuantizedModel uses it to attach resident packed
+  /// weight panels to Dense/Conv2d for the fused int8 forward path.
+  Layer* owner = nullptr;
 };
 
 /// Abstract layer.
@@ -66,8 +72,26 @@ class Layer {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Fused int8 residency: `panel` is a pre-packed weight panel (gemm::pack_b
+  /// layout over the layer's {dim(0), size/dim(0)} weight matrix) that the
+  /// provider (quant::QuantizedModel) keeps bit-identical to
+  /// pack_b(weight) at all times. Layers whose forward lowers onto a packed
+  /// GEMM B operand (Dense, Conv2d) consume it directly instead of re-packing
+  /// `weight` every call; for every other layer attaching is inert.
+  void attach_packed_weight(const float* panel) { resident_pack_ = panel; }
+  void detach_packed_weight(const float* panel) {
+    if (resident_pack_ == panel) resident_pack_ = nullptr;
+  }
+  /// Guard hook for code that mutates parameter tensors directly instead of
+  /// through quant::QuantizedModel (Model::load_state, the optimizer): drops
+  /// any attached panel so forward falls back to reading the float weights
+  /// -- slower but never stale. QuantizedModel::set_fused(true) re-attaches.
+  void drop_packed_weight() { resident_pack_ = nullptr; }
+  [[nodiscard]] const float* packed_weight() const { return resident_pack_; }
+
  private:
   std::unique_ptr<Workspace> legacy_ws_;  ///< lazily created for the wrappers
+  const float* resident_pack_ = nullptr;
 };
 
 /// Fully-connected layer: y = x W^T + b, W: {out, in}.
@@ -227,6 +251,12 @@ class Sequential final : public Layer {
   void invalidate_from(usize first_changed) {
     clean_frontier_ = std::min(clean_frontier_, first_changed);
   }
+
+  /// True when `ws` holds this network's activation cache (a forward_cached
+  /// ran against it), i.e. forward_from is legal. The cache's input batch is
+  /// whatever that forward received -- Model tracks it for the incremental
+  /// evaluation helpers.
+  [[nodiscard]] bool has_cache(const Workspace& ws) const { return cache_ws_ == &ws; }
 
   void forward_into(const Tensor& x, Tensor& y, bool train, Workspace& ws) override;
   void backward_into(const Tensor& dy, Tensor& dx, Workspace& ws) override;

@@ -1,5 +1,7 @@
 #include "nn/model.hpp"
 
+#include <cstring>
+
 namespace dnnd::nn {
 
 std::vector<ParamRef> Model::quantizable_params() {
@@ -23,8 +25,16 @@ std::vector<Tensor> Model::save_state() {
 
 void Model::load_state(const std::vector<Tensor>& snapshot) {
   usize i = 0;
-  for (auto& p : params()) *p.value = snapshot.at(i++);
+  for (auto& p : params()) {
+    *p.value = snapshot.at(i++);
+    // The mutation bypasses any attached QuantizedModel: drop resident packed
+    // panels so forward reads the restored floats instead of a stale panel.
+    if (p.owner != nullptr) p.owner->drop_packed_weight();
+  }
   for (Tensor* t : net_.state_tensors()) *t = snapshot.at(i++);
+  // Every cached activation is stale now; incremental evaluation must not
+  // reuse any of them.
+  net_.invalidate_from(0);
 }
 
 usize Model::param_count() {
@@ -47,6 +57,26 @@ const LossResult& Model::loss_and_grad(const Tensor& x, const std::vector<u32>& 
   return loss_scratch_;
 }
 
+const Tensor& Model::forward_incremental(const Tensor& x) {
+  const bool reusable = net_.has_cache(ws_) && last_input_ == x.data() &&
+                        last_input_size_ == x.size() && !last_train_ && x.size() > 0 &&
+                        std::memcmp(&last_edge_[0], x.data(), sizeof(float)) == 0 &&
+                        std::memcmp(&last_edge_[1], x.data() + x.size() - 1,
+                                    sizeof(float)) == 0;
+  if (!reusable) return forward_cached(x, /*train=*/false);
+  // Same batch, eval mode: re-run only layers at/beyond the invalidation
+  // frontier (forward_from clamps to it internally).
+  return net_.forward_from(net_.layer_count(), /*train=*/false, ws_);
+}
+
+const LossResult& Model::loss_and_grad_incremental(const Tensor& x,
+                                                   const std::vector<u32>& labels) {
+  const Tensor& logits = forward_incremental(x);
+  softmax_cross_entropy_into(logits, labels, loss_scratch_);
+  net_.backward_cached(loss_scratch_.dlogits, ws_);
+  return loss_scratch_;
+}
+
 double Model::loss(const Tensor& x, const std::vector<u32>& labels) {
   const Tensor& logits = forward_cached(x, /*train=*/false);
   return softmax_cross_entropy_loss(logits, labels);
@@ -55,6 +85,10 @@ double Model::loss(const Tensor& x, const std::vector<u32>& labels) {
 BatchEval Model::evaluate_batch(const Tensor& x, const std::vector<u32>& labels) {
   const Tensor& logits = forward_cached(x, /*train=*/false);
   return evaluate_logits(logits, labels);
+}
+
+BatchEval Model::evaluate_batch_incremental(const Tensor& x, const std::vector<u32>& labels) {
+  return evaluate_logits(forward_incremental(x), labels);
 }
 
 double Model::accuracy(const Tensor& x, const std::vector<u32>& labels) {

@@ -34,6 +34,11 @@ class Model {
   /// the cached logits (valid until the next forward/backward on this model).
   /// `train` selects batch statistics for BatchNorm.
   const Tensor& forward_cached(const Tensor& x, bool train = false) {
+    last_input_ = x.data();
+    last_input_size_ = x.size();
+    last_edge_[0] = x.size() > 0 ? x[0] : 0.0f;
+    last_edge_[1] = x.size() > 0 ? x[x.size() - 1] : 0.0f;
+    last_train_ = train;
     return net_.forward_cached(x, train, ws_);
   }
 
@@ -88,14 +93,48 @@ class Model {
   /// loss()/accuracy() calls (which would forward twice).
   BatchEval evaluate_batch(const Tensor& x, const std::vector<u32>& labels);
 
+  /// evaluate_batch that recomputes ONLY the layers whose parameters changed
+  /// since the last forward (via the invalidate_from frontier) when the cache
+  /// is reusable, and falls back to the full pass otherwise. Byte-identical
+  /// to evaluate_batch in both cases.
+  ///
+  /// The cache is reusable when this model last forwarded the SAME batch
+  /// object (`x.data()` and size match; keep the batch tensor alive and
+  /// unmodified between calls) in eval mode, and every parameter mutation
+  /// since went through invalidate_from -- true for all QuantizedModel
+  /// mutators. The attack measurement loops (random / adaptive / white-box)
+  /// ride this: after a flip burst, only the stale suffix re-runs.
+  BatchEval evaluate_batch_incremental(const Tensor& x, const std::vector<u32>& labels);
+
+  /// loss_and_grad with the same cache-reuse rule as
+  /// evaluate_batch_incremental: when the last forward was the same batch in
+  /// eval mode, only layers at/beyond the invalidation frontier re-forward
+  /// before the (full) backward pass. Layer backward caches ahead of the
+  /// frontier are still valid -- same input, same parameters -- so gradients
+  /// are byte-identical to the full-forward path. The BFA step uses this to
+  /// avoid re-running the clean prefix of the network every iteration.
+  const LossResult& loss_and_grad_incremental(const Tensor& x, const std::vector<u32>& labels);
+
   /// Fraction of correct argmax predictions on (x, labels).
   double accuracy(const Tensor& x, const std::vector<u32>& labels);
 
  private:
+  /// Cached logits when the last forward matches (same batch, eval mode),
+  /// re-running only stale layers; a fresh full forward otherwise.
+  const Tensor& forward_incremental(const Tensor& x);
+
   std::string name_;
   Sequential net_;
   Workspace ws_;
   LossResult loss_scratch_;  ///< reused by loss_and_grad (zero-alloc steady state)
+  // Identity of the last forwarded batch, for the incremental helpers:
+  // pointer + size plus an edge-value fingerprint, so a batch refilled in
+  // place (or a new tensor landing on the same allocation) falls back to the
+  // full forward instead of silently reusing a stale cache.
+  const float* last_input_ = nullptr;
+  usize last_input_size_ = 0;
+  float last_edge_[2] = {0.0f, 0.0f};
+  bool last_train_ = false;
 };
 
 }  // namespace dnnd::nn

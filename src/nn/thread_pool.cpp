@@ -1,0 +1,134 @@
+#include "nn/thread_pool.hpp"
+
+namespace dnnd::nn {
+
+namespace {
+thread_local bool tl_in_region = false;
+
+/// Marks the current thread as inside a region for a scope; exception-safe.
+struct RegionScope {
+  bool saved = tl_in_region;
+  RegionScope() { tl_in_region = true; }
+  ~RegionScope() { tl_in_region = saved; }
+};
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_region() { return tl_in_region; }
+
+usize ThreadPool::claim_slot(Region& r) {
+  std::lock_guard<std::mutex> lk(r.m);
+  return r.next_slot < r.teams ? r.next_slot++ : r.teams;
+}
+
+void ThreadPool::run_slot(Region& r, usize slot) {
+  std::exception_ptr err;
+  {
+    RegionScope scope;
+    try {
+      r.body(r.ctx, slot, r.teams);
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  std::lock_guard<std::mutex> lk(r.m);
+  if (err && !r.error) r.error = err;  // first failure wins; region still completes
+  if (++r.done == r.teams) r.cv.notify_all();
+}
+
+void ThreadPool::ensure_workers(usize n) {
+  while (workers_.size() < n) workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::reserve_workers(usize n) {
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  ensure_workers(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Region* r = nullptr;
+    usize slot = 0;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      r = queue_.front();
+      // Claim while holding the queue mutex (consistent queue -> region lock
+      // order); the caller cannot retire the region before the claimed slot's
+      // done-increment because it waits for done == teams.
+      slot = claim_slot(*r);
+      if (slot >= r->teams || slot + 1 == r->teams) {
+        if (!queue_.empty() && queue_.front() == r) queue_.pop_front();
+      }
+      if (slot >= r->teams) continue;
+    }
+    run_slot(*r, slot);
+  }
+}
+
+void ThreadPool::parallel_impl(usize teams, void* ctx, BodyFn body) {
+  if (teams <= 1 || tl_in_region) {
+    // Serial (or nested) execution: report a team of one so static partitions
+    // cover the whole range.
+    RegionScope scope;
+    body(ctx, 0, 1);
+    return;
+  }
+
+  Region r;
+  r.ctx = ctx;
+  r.body = body;
+  r.teams = teams;
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    ensure_workers(teams - 1);
+    queue_.push_back(&r);
+  }
+  queue_cv_.notify_all();
+
+  run_slot(r, 0);
+  // Caller work-stealing: execute any slot no worker has claimed yet, so the
+  // region completes even with every worker busy elsewhere. run_slot never
+  // throws (body exceptions are captured into the region), so the region is
+  // always retired from the queue before this frame -- and the stack-
+  // allocated Region -- goes away.
+  for (;;) {
+    usize slot;
+    {
+      std::lock_guard<std::mutex> lk(queue_mutex_);
+      slot = claim_slot(r);
+      if (slot >= r.teams || slot + 1 == r.teams) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (*it == &r) {
+            queue_.erase(it);
+            break;
+          }
+        }
+      }
+    }
+    if (slot >= r.teams) break;
+    run_slot(r, slot);
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(r.m);
+    r.cv.wait(lk, [&] { return r.done == r.teams; });
+  }
+  if (r.error) std::rethrow_exception(r.error);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+}  // namespace dnnd::nn

@@ -7,9 +7,20 @@ Tensor& Workspace::slot(const void* owner, SlotKind kind, usize idx) {
   auto it = slots_.find(key);
   if (it == slots_.end()) {
     it = slots_.emplace(key, Tensor{}).first;
-    ++alloc_events_;
+    alloc_events_.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
+}
+
+void Workspace::reserve_team(usize teams) {
+  if (col_.size() < teams) {
+    col_.resize(teams);
+    alloc_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pack_.size() < teams) {
+    pack_.resize(teams);
+    alloc_events_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace dnnd::nn

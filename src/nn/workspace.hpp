@@ -9,11 +9,17 @@
 // on first use, and retain their storage forever after, so the steady state
 // (same shapes, same workspace) performs zero heap allocations.
 //
+// Threaded forwards extend the arena with per-team-slot col/pack buffers:
+// reserve_team(teams) (serial, before entering a pool region) sizes the
+// buffer tables, after which each team slot grows and reuses only its own
+// buffer -- the steady state stays zero-allocation at any fixed team size.
+//
 // `alloc_events()` counts arena growth (new slots, buffer grows); a constant
 // count across iterations is the observable zero-allocation invariant that
 // tests/test_inference_engine.cpp pins down.
 #pragma once
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -27,26 +33,40 @@ class Workspace {
   /// scratch under the same indices without collisions.
   enum class SlotKind : u32 { kActivation = 0, kGradient = 1, kScratch = 2 };
 
+  Workspace() : col_(1), pack_(1) {}
+
   /// The (lazily created) tensor slot for (owner, kind, idx). References stay
-  /// valid for the workspace lifetime (node-based map).
+  /// valid for the workspace lifetime (node-based map). NOT safe to call from
+  /// inside a pool region.
   Tensor& slot(const void* owner, SlotKind kind, usize idx);
 
-  /// im2col patch buffer of at least `n` floats; grows monotonically.
-  float* col_buffer(usize n) { return grow(col_, n); }
+  /// Pre-sizes the per-team-slot buffer tables so col_buffer/pack_buffer can
+  /// be called concurrently with team_slot < teams. Must run OUTSIDE any pool
+  /// region (growing the tables is not thread-safe; growing one slot's buffer
+  /// from its own thread is).
+  void reserve_team(usize teams);
+
+  /// im2col patch buffer of at least `n` floats for one team slot; grows
+  /// monotonically. Distinct team slots own distinct buffers.
+  float* col_buffer(usize n, usize team_slot = 0) { return grow(col_[team_slot], n); }
 
   /// GEMM panel-pack buffer of at least `n` floats; distinct from the col
   /// buffer because both are live during a lowered convolution.
-  float* pack_buffer(usize n) { return grow(pack_, n); }
+  float* pack_buffer(usize n, usize team_slot = 0) { return grow(pack_[team_slot], n); }
 
   /// Arena growth events so far (slot creations and buffer grows). Constant
   /// across steady-state iterations == no new arena structures. Pair with
   /// slot_capacity() -- which sees reallocation of the slot tensors'
   /// storage -- for the full zero-allocation invariant.
-  [[nodiscard]] usize alloc_events() const { return alloc_events_; }
+  [[nodiscard]] usize alloc_events() const {
+    return alloc_events_.load(std::memory_order_relaxed);
+  }
 
   /// Total allocated floats across slot tensors and the col/pack buffers.
   [[nodiscard]] usize slot_capacity() const {
-    usize total = col_.capacity() + pack_.capacity();
+    usize total = 0;
+    for (const auto& b : col_) total += b.capacity();
+    for (const auto& b : pack_) total += b.capacity();
     for (const auto& [key, t] : slots_) total += t.capacity();
     return total;
   }
@@ -71,15 +91,15 @@ class Workspace {
   float* grow(std::vector<float>& buf, usize n) {
     if (buf.size() < n) {
       buf.resize(n);
-      ++alloc_events_;
+      alloc_events_.fetch_add(1, std::memory_order_relaxed);
     }
     return buf.data();
   }
 
   std::unordered_map<Key, Tensor, KeyHash> slots_;
-  std::vector<float> col_;
-  std::vector<float> pack_;
-  usize alloc_events_ = 0;
+  std::vector<std::vector<float>> col_;   ///< indexed by team slot
+  std::vector<std::vector<float>> pack_;  ///< indexed by team slot
+  std::atomic<usize> alloc_events_{0};
 };
 
 }  // namespace dnnd::nn

@@ -5,7 +5,17 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/gemm.hpp"
+
 namespace dnnd::quant {
+
+namespace {
+
+/// One weight's float and packed-panel values from its code -- the single
+/// materialization arithmetic everything (full pass, flip, restore) shares.
+inline float dequant(i8 q, float scale) { return static_cast<float>(q) * scale; }
+
+}  // namespace
 
 QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
   for (auto& p : model_.quantizable_params()) {
@@ -14,6 +24,7 @@ QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
     ql.value = p.value;
     ql.grad = p.grad;
     ql.net_layer = p.top_layer;
+    ql.owner = p.owner;
     const float amax = p.value->abs_max();
     ql.scale = amax > 0.0f ? amax / 127.0f : 1.0f;
     ql.q.resize(p.value->size());
@@ -22,9 +33,40 @@ QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
       const long r = std::lround(w / ql.scale);
       ql.q[i] = static_cast<i8>(std::clamp<long>(r, -128, 127));
     }
+    // Panel geometry: both Dense ({out, in}) and Conv2d ({oc, ic, k, k})
+    // present as an N x K code matrix with N = dim(0).
+    ql.pack_rows = p.value->dim(0);
+    ql.pack_cols = ql.q.size() / ql.pack_rows;
     layers_.push_back(std::move(ql));
   }
   materialize();
+  for (auto& l : layers_) attach_pack(l, true);
+}
+
+QuantizedModel::~QuantizedModel() {
+  for (auto& l : layers_) attach_pack(l, false);
+}
+
+void QuantizedModel::build_pack(QuantizedLayer& l) {
+  l.packed.resize(nn::gemm::packed_b_size(l.pack_rows, l.pack_cols));
+  nn::gemm::pack_b_int8(l.q.data(), l.pack_rows, l.pack_cols, l.scale, l.packed.data());
+}
+
+void QuantizedModel::attach_pack(QuantizedLayer& l, bool on) {
+  if (l.owner == nullptr) return;
+  if (on) {
+    l.owner->attach_packed_weight(l.packed.data());
+  } else {
+    l.owner->detach_packed_weight(l.packed.data());
+  }
+}
+
+void QuantizedModel::set_fused(bool on) {
+  // Attaching is idempotent and deliberately not short-circuited when already
+  // fused: set_fused(true) also recovers panels dropped by a direct-mutation
+  // guard (Model::load_state, optimizer steps) after a materialize().
+  fused_ = on;
+  for (auto& l : layers_) attach_pack(l, on);
 }
 
 u64 QuantizedModel::total_weights() const {
@@ -36,8 +78,9 @@ u64 QuantizedModel::total_weights() const {
 void QuantizedModel::materialize() {
   for (auto& l : layers_) {
     for (usize i = 0; i < l.q.size(); ++i) {
-      (*l.value)[i] = static_cast<float>(l.q[i]) * l.scale;
+      (*l.value)[i] = dequant(l.q[i], l.scale);
     }
+    build_pack(l);
   }
   model_.invalidate_from(0);
 }
@@ -45,8 +88,11 @@ void QuantizedModel::materialize() {
 void QuantizedModel::flip(const BitLocation& loc) {
   QuantizedLayer& l = layers_.at(loc.layer);
   assert(loc.index < l.size());
-  l.q[loc.index] = flip_bit_value(l.q[loc.index], loc.bit);
-  (*l.value)[loc.index] = static_cast<float>(l.q[loc.index]) * l.scale;
+  const i8 code = flip_bit_value(l.q[loc.index], loc.bit);
+  l.q[loc.index] = code;
+  (*l.value)[loc.index] = dequant(code, l.scale);
+  l.packed[nn::gemm::packed_index(loc.index / l.pack_cols, loc.index % l.pack_cols,
+                                  l.pack_cols)] = dequant(code, l.scale);
   // Keep the incremental-forward cache honest: activations computed from the
   // pre-flip weight are stale from this layer on.
   model_.invalidate_from(l.net_layer);
@@ -58,8 +104,11 @@ i8 QuantizedModel::get_q(usize layer, usize index) const {
 
 void QuantizedModel::set_q(usize layer, usize index, i8 code) {
   QuantizedLayer& l = layers_.at(layer);
-  l.q.at(index) = code;
-  (*l.value)[index] = static_cast<float>(code) * l.scale;
+  if (l.q.at(index) == code) return;  // unchanged: floats and cache stay valid
+  l.q[index] = code;
+  (*l.value)[index] = dequant(code, l.scale);
+  l.packed[nn::gemm::packed_index(index / l.pack_cols, index % l.pack_cols, l.pack_cols)] =
+      dequant(code, l.scale);
   model_.invalidate_from(l.net_layer);
 }
 
@@ -74,9 +123,10 @@ void QuantizedModel::restore(const std::vector<std::vector<i8>>& snap) {
   assert(snap.size() == layers_.size());
   for (usize i = 0; i < layers_.size(); ++i) {
     assert(snap[i].size() == layers_[i].q.size());
-    layers_[i].q = snap[i];
+    for (usize j = 0; j < layers_[i].q.size(); ++j) {
+      set_q(i, j, snap[i][j]);  // no-op (no invalidation) for unchanged codes
+    }
   }
-  materialize();
 }
 
 u64 QuantizedModel::hamming_distance(const std::vector<std::vector<i8>>& snap) const {

@@ -57,17 +57,38 @@ struct QuantizedLayer {
   /// Model::forward_from argument that incrementally re-evaluates a flip in
   /// this tensor (only layers >= net_layer can see the changed weight).
   usize net_layer = 0;
+  /// The Dense/Conv2d the tensor belongs to (for panel attachment).
+  nn::Layer* owner = nullptr;
+
+  /// Fused int8 residency: the dequantized weight panel in gemm::pack_b
+  /// layout, kept bit-identical to pack_b(materialized floats) at all times.
+  /// While attached to the owning layer, forward consumes it directly and a
+  /// bit flip costs ONE panel float update instead of a per-forward repack.
+  std::vector<float> packed;
+  usize pack_rows = 0;  ///< N: weight.dim(0) (out features / out channels)
+  usize pack_cols = 0;  ///< K: weights per output (in features / in_ch*k*k)
 
   [[nodiscard]] usize size() const { return q.size(); }
 };
 
-/// Quantized view over a Model's weight tensors. Owns the integer codes;
-/// the float model remains the inference engine.
+/// Quantized view over a Model's weight tensors. Owns the integer codes and
+/// the resident packed panels of the fused int8 forward path; the float
+/// model remains the inference engine (and stays in sync code-for-code).
+///
+/// Invariant: while a QuantizedModel is alive, every mutation of a quantized
+/// weight tensor must go through it (flip / set_q / restore / materialize) so
+/// codes, floats, and packed panels never diverge. All in-tree mutators
+/// (attacks, ReconstructionGuard, WeightMapping::download) already do.
 class QuantizedModel {
  public:
-  /// Quantizes all quantizable parameters of `model` and materializes the
-  /// dequantized values into the model (so inference == quantized inference).
+  /// Quantizes all quantizable parameters of `model`, materializes the
+  /// dequantized values into the model (so inference == quantized inference),
+  /// and attaches resident packed panels to the owning Dense/Conv2d layers
+  /// (the fused int8 path; byte-identical to re-packing the floats).
   explicit QuantizedModel(nn::Model& model);
+  ~QuantizedModel();
+  QuantizedModel(const QuantizedModel&) = delete;
+  QuantizedModel& operator=(const QuantizedModel&) = delete;
 
   [[nodiscard]] usize num_layers() const { return layers_.size(); }
   [[nodiscard]] QuantizedLayer& layer(usize i) { return layers_.at(i); }
@@ -79,27 +100,50 @@ class QuantizedModel {
   [[nodiscard]] u64 total_weights() const;
   [[nodiscard]] u64 total_bits() const { return total_weights() * 8; }
 
-  /// Rewrites every float weight from its code (full dequantization pass).
+  /// Rewrites every float weight (and packed panel) from its code -- the full
+  /// dequantization pass. flip/set_q/restore keep everything in sync
+  /// incrementally, so this is only needed after external code edits.
   void materialize();
 
-  /// Flips one bit: updates the code and the corresponding float weight.
+  /// Flips one bit: updates the code, the corresponding float weight, and
+  /// the one affected packed-panel float.
   void flip(const BitLocation& loc);
 
-  /// Reads / writes one code (set_q also updates the float weight).
+  /// Reads / writes one code (set_q also updates the float weight and panel).
+  /// Writing the value a code already holds is a no-op: it neither touches
+  /// the floats nor invalidates the incremental-forward cache, which is what
+  /// lets WeightMapping::download sync the whole model from DRAM after an
+  /// attack attempt without paying a materialization or re-forward for the
+  /// (vast majority of) unchanged weights.
   [[nodiscard]] i8 get_q(usize layer, usize index) const;
   void set_q(usize layer, usize index, i8 code);
 
   /// Full snapshot of the integer codes (cheap: one byte per weight).
   [[nodiscard]] std::vector<std::vector<i8>> snapshot() const;
-  /// Restores a snapshot and re-materializes.
+  /// Restores a snapshot incrementally: only codes that differ are rewritten
+  /// (code + float + panel), and the forward cache is invalidated from the
+  /// earliest changed layer only -- not a full materialization pass.
   void restore(const std::vector<std::vector<i8>>& snap);
+
+  /// Detaches (set_fused(false)) or re-attaches the resident packed panels.
+  /// The panels stay maintained either way, so toggling is O(layers); this is
+  /// the A/B knob bench_inference uses to price the fused path. Results are
+  /// byte-identical in both modes.
+  void set_fused(bool on);
+  [[nodiscard]] bool fused() const { return fused_; }
 
   /// Hamming distance of current codes to a snapshot (total flipped bits).
   [[nodiscard]] u64 hamming_distance(const std::vector<std::vector<i8>>& snap) const;
 
  private:
+  /// (Re)builds layer `l`'s packed panel from its codes.
+  void build_pack(QuantizedLayer& l);
+  /// Attaches/detaches layer `l`'s panel on its owning Dense/Conv2d.
+  void attach_pack(QuantizedLayer& l, bool on);
+
   nn::Model& model_;
   std::vector<QuantizedLayer> layers_;
+  bool fused_ = true;
 };
 
 }  // namespace dnnd::quant

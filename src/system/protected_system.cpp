@@ -114,7 +114,12 @@ SystemAttackResult ProtectedSystem::run_white_box_attack(
       result.blocked += 1;
       learned_blocked.insert(rec->loc);
     }
-    result.final_accuracy = qm_.model().evaluate_batch(eval_x, eval_y).accuracy;
+    // The DRAM sync above rewrote only the codes that actually changed
+    // (set_q no-ops on identical values), so a blocked attempt leaves the
+    // forward cache fully clean and this measurement costs almost nothing;
+    // the incremental helper falls back to a full pass when the cache sits
+    // on the attack batch instead.
+    result.final_accuracy = qm_.model().evaluate_batch_incremental(eval_x, eval_y).accuracy;
     if (result.final_accuracy <= stop_accuracy) break;
   }
   return result;

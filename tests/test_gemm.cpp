@@ -1,17 +1,24 @@
 // Kernel-equivalence property tests: the GEMM/im2col engine path must be
 // bitwise identical to the retained naive reference kernels, across
 // randomized shapes including odd sizes, stride/padding edges, and batch 1/N.
+// The threaded kernel must in turn be byte-identical to the serial one for
+// every team size (row-chunk and panel-chunk partitions both), and the fused
+// int8 pack must reproduce the float pack bit-for-bit.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 
 #include "nn/gemm.hpp"
 #include "nn/layers.hpp"
 #include "nn/reference.hpp"
 #include "nn/workspace.hpp"
+#include "test_util.hpp"
 
 namespace dnnd::nn {
 namespace {
+
+using testutil::ThreadsGuard;
 
 void fill_random(Tensor& t, sys::Rng& rng) {
   for (usize i = 0; i < t.size(); ++i) t[i] = static_cast<float>(rng.normal(0.0, 1.0));
@@ -86,6 +93,130 @@ TEST(Gemm, Conv2dForwardMatchesReference) {
     expect_bitwise_equal(y, ref,
                          "conv trial " + std::to_string(trial) + " k=" + std::to_string(k) +
                              " s=" + std::to_string(stride) + " p=" + std::to_string(pad));
+  }
+}
+
+TEST(Gemm, ThreadedMatchesSerialByteExactOverRandomShapes) {
+  // Shapes randomized across both partition regimes: M >= team (row chunks)
+  // and M < team (panel chunks), ragged against the 8-wide tile in all of
+  // M/N/K, and sizes straddling the parallel work threshold (below it the
+  // kernel must fall back to serial -- identical either way).
+  ThreadsGuard guard;
+  sys::Rng rng(105);
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  for (int trial = 0; trial < 25; ++trial) {
+    usize M, N, K;
+    if (trial % 3 == 0) {
+      M = 1 + rng.uniform(3);           // fewer rows than any team: panel split
+      N = 24 + rng.uniform(80);
+      K = 128 + rng.uniform(256);
+    } else {
+      M = 9 + rng.uniform(120);         // row split, ragged vs the 8-row tile
+      N = 1 + rng.uniform(40);
+      K = 16 + rng.uniform(96);
+    }
+    Tensor a({M, K}), b({N, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(bias, rng);
+    const gemm::Bias kind = trial % 4 == 0 ? gemm::Bias::kNone : gemm::Bias::kPerCol;
+
+    Workspace ws_serial;
+    Tensor serial({M, N});
+    gemm::set_threads(1);
+    gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, serial.data(), N, bias.data(), kind,
+                  ws_serial);
+
+    for (const usize teams : {usize{2}, usize{4}, hw}) {
+      Workspace ws_t;
+      Tensor threaded({M, N});
+      threaded.fill(-999.0f);  // stale sentinel: every element must be written
+      gemm::set_threads(teams);
+      gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, threaded.data(), N, bias.data(), kind,
+                    ws_t);
+      expect_bitwise_equal(threaded, serial,
+                           "trial " + std::to_string(trial) + " teams=" +
+                               std::to_string(teams) + " M=" + std::to_string(M) + " N=" +
+                               std::to_string(N) + " K=" + std::to_string(K));
+    }
+
+    // And against the naive triple loop, closing the serial==threaded==naive
+    // triangle.
+    Tensor ref({M, N});
+    for (usize m = 0; m < M; ++m) {
+      for (usize nn = 0; nn < N; ++nn) {
+        float acc = kind == gemm::Bias::kPerCol ? bias[nn] : 0.0f;
+        for (usize k = 0; k < K; ++k) acc += a[m * K + k] * b[nn * K + k];
+        ref.at2(m, nn) = acc;
+      }
+    }
+    expect_bitwise_equal(serial, ref, "vs naive, trial " + std::to_string(trial));
+  }
+}
+
+TEST(Gemm, ThreadedConvAndDenseForwardMatchSerial) {
+  // Layer-level check: Conv2d's sample-parallel path (per-team-slot col
+  // buffers) and Dense's row-split GEMM, big enough to clear the parallel
+  // work threshold, against the serial engine and the naive reference.
+  ThreadsGuard guard;
+  sys::Rng rng(106);
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  Conv2d conv(4, 9, 3, 1, 1, rng);
+  Dense dense(200, 37, rng);
+  fill_random(conv.bias, rng);
+  fill_random(dense.bias, rng);
+  Tensor xc({10, 4, 12, 12}), xd({10, 200});
+  fill_random(xc, rng);
+  fill_random(xd, rng);
+
+  gemm::set_threads(1);
+  const Tensor conv_serial = conv.forward(xc, false);
+  const Tensor dense_serial = dense.forward(xd, false);
+  Tensor conv_ref(conv_serial.shape()), dense_ref(dense_serial.shape());
+  reference::conv2d_forward(xc, conv.weight, conv.bias, 1, 1, conv_ref);
+  reference::dense_forward(xd, dense.weight, dense.bias, dense_ref);
+  expect_bitwise_equal(conv_serial, conv_ref, "conv serial vs naive");
+  expect_bitwise_equal(dense_serial, dense_ref, "dense serial vs naive");
+
+  for (const usize teams : {usize{2}, usize{3}, usize{4}, hw}) {
+    gemm::set_threads(teams);
+    const Tensor conv_t = conv.forward(xc, false);
+    const Tensor dense_t = dense.forward(xd, false);
+    expect_bitwise_equal(conv_t, conv_serial, "conv teams=" + std::to_string(teams));
+    expect_bitwise_equal(dense_t, dense_serial, "dense teams=" + std::to_string(teams));
+  }
+}
+
+TEST(Gemm, PackBInt8MatchesFloatPackBitwise) {
+  // The fused path's invariant: pack_b_int8(codes, scale) must equal
+  // pack_b(materialized floats) byte-for-byte, and packed_index must address
+  // exactly the panel float a single code update has to rewrite.
+  sys::Rng rng(107);
+  for (int trial = 0; trial < 20; ++trial) {
+    const usize N = 1 + rng.uniform(40), K = 1 + rng.uniform(60);
+    const float scale = 0.001f + static_cast<float>(rng.uniform(1000)) * 1e-4f;
+    std::vector<i8> q(N * K);
+    for (auto& v : q) v = static_cast<i8>(static_cast<int>(rng.uniform(256)) - 128);
+
+    std::vector<float> floats(N * K);
+    for (usize i = 0; i < q.size(); ++i) floats[i] = static_cast<float>(q[i]) * scale;
+
+    const usize panel_size = gemm::packed_b_size(N, K);
+    std::vector<float> from_floats(panel_size, -1.0f), from_codes(panel_size, -2.0f);
+    gemm::pack_b(floats.data(), K, N, K, from_floats.data());
+    gemm::pack_b_int8(q.data(), N, K, scale, from_codes.data());
+    ASSERT_EQ(0, std::memcmp(from_floats.data(), from_codes.data(),
+                             panel_size * sizeof(float)))
+        << "trial " << trial << " N=" << N << " K=" << K;
+
+    // Point update == full repack after one code change.
+    const usize idx = rng.uniform(N * K);
+    q[idx] = static_cast<i8>(q[idx] ^ 0x40);
+    from_codes[gemm::packed_index(idx / K, idx % K, K)] = static_cast<float>(q[idx]) * scale;
+    std::vector<float> repacked(panel_size);
+    gemm::pack_b_int8(q.data(), N, K, scale, repacked.data());
+    ASSERT_EQ(0, std::memcmp(repacked.data(), from_codes.data(), panel_size * sizeof(float)))
+        << "point update diverged, trial " << trial;
   }
 }
 

@@ -13,6 +13,7 @@
 #include "harness/campaign_diff.hpp"
 #include "harness/registry.hpp"
 #include "harness/sink.hpp"
+#include "nn/gemm.hpp"
 #include "sys/json.hpp"
 
 namespace dnnd::harness {
@@ -253,6 +254,60 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(jsons[0], jsons[i])
         << "JSON differs between 1 thread and " << thread_counts[i] << " threads";
   }
+}
+
+// The engine-threading regression: the same grid must be byte-identical no
+// matter how the thread budget splits between scenario workers and each
+// scenario's GEMM team. A 2-scenario grid under a budget of 8 forces a
+// 4-thread GEMM team inside every worker (the leftover-budget split in
+// CampaignRunner::run); the whole tiny grid under budgets 1/2/hw covers the
+// workers-saturate-the-budget regime. All runs must match the
+// single-threaded bytes exactly.
+TEST(Campaign, DeterministicAcrossGemmTeamSplits) {
+  const auto grid = tiny_test_grid();
+  ASSERT_GE(grid.size(), 2u);
+  const std::vector<Scenario> pair(grid.begin(), grid.begin() + 2);
+
+  CampaignRunner serial(CampaignConfig{.threads = 1});
+  const std::string pair_base = serial.run(pair).to_json();
+  const std::string grid_base = serial.run(grid).to_json();
+
+  {
+    // 2 workers x 4 GEMM threads each.
+    CampaignRunner runner(CampaignConfig{.threads = 8});
+    EXPECT_EQ(runner.run(pair).to_json(), pair_base)
+        << "in-scenario GEMM teams changed campaign bytes";
+  }
+  for (const usize budget : {usize{2}, usize{4},
+                             std::max<usize>(1, std::thread::hardware_concurrency())}) {
+    CampaignRunner runner(CampaignConfig{.threads = budget});
+    EXPECT_EQ(runner.run(grid).to_json(), grid_base) << "budget " << budget;
+  }
+  // The split is restored afterwards: the campaign must not leak its GEMM
+  // team override into the process.
+  EXPECT_EQ(nn::gemm::threads_setting(), 0u);
+}
+
+// Golden-file cross-check of the same property: the committed baseline must
+// be reproduced at zero tolerance with an in-scenario GEMM team forced on
+// (dnnd_diff semantics via diff_campaigns).
+TEST(Campaign, GoldenBaselineStableUnderGemmThreads) {
+  const std::string path =
+      std::string(DNND_SOURCE_DIR) + "/tests/data/tiny_grid_baseline.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing baseline " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto baseline = campaign_from_json(ss.str());
+
+  const auto grid = tiny_test_grid();
+  // threads == grid size would split the budget to 1 GEMM thread per worker;
+  // an oversized budget hands every worker a team of >= 2.
+  CampaignRunner runner(CampaignConfig{.threads = grid.size() * 2});
+  const auto res = runner.run(grid);
+  for (const auto& r : res.results) ASSERT_TRUE(r.ok) << r.id << ": " << r.error;
+  const auto report = diff_campaigns(baseline, campaign_from_json(res.to_json()));
+  EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
 TEST(Campaign, RepeatedRunsOnWarmCacheAreIdentical) {

@@ -1,18 +1,26 @@
 // Inference-engine behaviour: incremental re-evaluation (forward_from) is
 // bitwise identical to a full fresh forward for a flip in ANY layer, the
-// evaluate_batch helper matches the separate loss/accuracy paths, and the
-// workspace arena reaches a zero-allocation steady state.
+// fused int8 resident-panel path is byte-identical to the dequantize-
+// materialize path across arbitrary flip sequences, the incremental
+// evaluation helpers match their full-pass counterparts, results are
+// byte-identical at every GEMM team size, and the workspace arena reaches a
+// zero-allocation steady state -- serial and threaded.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
 
 #include "models/model_zoo.hpp"
+#include "nn/gemm.hpp"
 #include "nn/layers.hpp"
 #include "nn/model.hpp"
 #include "quant/quantizer.hpp"
+#include "test_util.hpp"
 
 namespace dnnd::nn {
 namespace {
+
+using testutil::ThreadsGuard;
 
 /// Small conv+dense model covering conv, batchnorm, pooling, and dense layers.
 std::unique_ptr<Model> make_conv_dense(sys::Rng& rng) {
@@ -171,6 +179,232 @@ TEST(Workspace, ZeroAllocAcrossIncrementalProbes) {
     qm.flip({l, 0, 7});
   }
   EXPECT_EQ(m->workspace().alloc_events(), warm);
+}
+
+TEST(FusedInt8, ProbeForwardMatchesMaterializedPathAcrossRandomFlips) {
+  // Twin models with identical weights: `fused` keeps the resident packed
+  // panels attached (a flip updates one code + one panel float), `plain` has
+  // them detached so every forward re-packs the materialized float weights.
+  // Every probe -- including out-of-order flip/unflip sequences riding
+  // forward_from over a deliberately dirty cache -- must agree byte-for-byte.
+  sys::Rng rng_a(51), rng_b(51);
+  auto fused_model = make_conv_dense(rng_a);
+  auto plain_model = make_conv_dense(rng_b);
+  sys::Rng xrng(52);
+  const Tensor x = random_input(3, xrng);
+  quant::QuantizedModel fused(*fused_model);
+  quant::QuantizedModel plain(*plain_model);
+  plain.set_fused(false);
+  ASSERT_TRUE(fused.fused());
+  ASSERT_FALSE(plain.fused());
+
+  EXPECT_TRUE(bitwise_equal(fused_model->forward_cached(x), plain_model->forward_cached(x)));
+
+  sys::Rng order(53);
+  for (int probe = 0; probe < 16; ++probe) {
+    const usize l = order.uniform(fused.num_layers());
+    const quant::BitLocation loc{l, order.uniform(fused.layer(l).size()),
+                                 static_cast<u32>(order.uniform(8))};
+    fused.flip(loc);
+    plain.flip(loc);
+    const Tensor a = fused_model->forward_from(fused.layer(l).net_layer);
+    const Tensor b = plain_model->forward_from(plain.layer(l).net_layer);
+    EXPECT_TRUE(bitwise_equal(a, b)) << "probe " << probe << " layer " << l;
+    if (probe % 3 != 0) {  // leave some flips committed, unflip the rest
+      fused.flip(loc);
+      plain.flip(loc);
+    }
+  }
+  // Restore-to-snapshot (the diff-aware path) must land both models on
+  // byte-identical logits again.
+  const auto snap = fused.snapshot();
+  plain.restore(snap);
+  fused.restore(snap);
+  EXPECT_TRUE(bitwise_equal(fused_model->forward_from(0), plain_model->forward_from(0)));
+}
+
+TEST(FusedInt8, SetFusedTogglesWithoutChangingResults) {
+  sys::Rng rng(54);
+  auto m = make_conv_dense(rng);
+  sys::Rng xrng(55);
+  const Tensor x = random_input(2, xrng);
+  quant::QuantizedModel qm(*m);
+  const Tensor with_fused = m->forward_cached(x);
+  qm.set_fused(false);
+  const Tensor without = m->forward_cached(x);
+  qm.set_fused(true);
+  const Tensor again = m->forward_cached(x);
+  EXPECT_TRUE(bitwise_equal(with_fused, without));
+  EXPECT_TRUE(bitwise_equal(with_fused, again));
+}
+
+TEST(IncrementalEval, MatchesFullEvaluationAfterFlipBursts) {
+  // evaluate_batch_incremental must equal a from-scratch evaluate_batch after
+  // arbitrary committed flips (same batch -> frontier reuse), and fall back
+  // to a full forward transparently when the batch changes between calls.
+  sys::Rng rng_a(56), rng_b(56);
+  auto probed = make_conv_dense(rng_a);
+  auto twin = make_conv_dense(rng_b);
+  sys::Rng xrng(57);
+  const Tensor x = random_input(4, xrng);
+  const Tensor other = random_input(4, xrng);
+  const std::vector<u32> y{0, 2, 1, 3};
+  quant::QuantizedModel qm(*probed);
+  quant::QuantizedModel qm_twin(*twin);
+
+  sys::Rng order(58);
+  for (int burst = 0; burst < 6; ++burst) {
+    for (int f = 0; f < 3; ++f) {
+      const usize l = order.uniform(qm.num_layers());
+      const quant::BitLocation loc{l, order.uniform(qm.layer(l).size()),
+                                   static_cast<u32>(order.uniform(8))};
+      qm.flip(loc);
+      qm_twin.flip(loc);
+    }
+    const BatchEval inc = probed->evaluate_batch_incremental(x, y);
+    const BatchEval full = twin->evaluate_batch(x, y);
+    EXPECT_EQ(inc.loss, full.loss) << "burst " << burst;
+    EXPECT_EQ(inc.accuracy, full.accuracy) << "burst " << burst;
+    if (burst % 2 == 1) {
+      // Interleave an evaluation on a different batch: the next incremental
+      // call sees a foreign cache and must take the full-forward fallback.
+      const BatchEval inc_other = probed->evaluate_batch_incremental(other, y);
+      const BatchEval full_other = twin->evaluate_batch(other, y);
+      EXPECT_EQ(inc_other.loss, full_other.loss);
+    }
+  }
+}
+
+TEST(IncrementalEval, LossAndGradMatchesFullBitwise) {
+  // loss_and_grad_incremental re-forwards only the stale suffix; the loss AND
+  // every accumulated gradient buffer must be byte-identical to the
+  // full-forward loss_and_grad of an identical twin.
+  sys::Rng rng_a(59), rng_b(59);
+  auto probed = make_conv_dense(rng_a);
+  auto twin = make_conv_dense(rng_b);
+  sys::Rng xrng(60);
+  const Tensor x = random_input(3, xrng);
+  const std::vector<u32> y{1, 3, 0};
+  quant::QuantizedModel qm(*probed);
+  quant::QuantizedModel qm_twin(*twin);
+
+  // Prime the cache, then commit a flip and compare a full BFA-style
+  // gradient pass.
+  probed->zero_grad();
+  probed->loss_and_grad_incremental(x, y);
+  sys::Rng order(61);
+  for (int step = 0; step < 5; ++step) {
+    const usize l = order.uniform(qm.num_layers());
+    const quant::BitLocation loc{l, order.uniform(qm.layer(l).size()),
+                                 static_cast<u32>(order.uniform(8))};
+    qm.flip(loc);
+    qm_twin.flip(loc);
+    probed->zero_grad();
+    twin->zero_grad();
+    const double li = probed->loss_and_grad_incremental(x, y).loss;
+    const double lf = twin->loss_and_grad(x, y).loss;
+    EXPECT_EQ(li, lf) << "step " << step;
+    auto pp = probed->params();
+    auto tp = twin->params();
+    ASSERT_EQ(pp.size(), tp.size());
+    for (usize i = 0; i < pp.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(*pp[i].grad, *tp[i].grad))
+          << "grad " << pp[i].name << " step " << step;
+    }
+  }
+}
+
+TEST(Engine, LogitsAndGradientsByteIdenticalAtEveryTeamSize) {
+  // Whole-model sweep over GEMM team sizes on shapes big enough to cross the
+  // parallel work threshold: forward logits and backward gradients must be
+  // byte-identical to the serial run (threading partitions outputs only).
+  ThreadsGuard guard;
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  auto make = [] { return models::make_by_name("vgg11", 10, /*seed=*/3); };
+  sys::Rng xrng(62);
+  Tensor x({8, 3, 12, 12});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(xrng.normal(0.0, 1.0));
+  const std::vector<u32> y{0, 1, 2, 3, 4, 5, 6, 7};
+
+  gemm::set_threads(1);
+  auto serial = make();
+  serial->zero_grad();
+  const double serial_loss = serial->loss_and_grad(x, y).loss;
+  const Tensor serial_logits = serial->forward_cached(x);
+  auto serial_params = serial->params();
+
+  for (const usize teams : {usize{2}, usize{4}, hw}) {
+    gemm::set_threads(teams);
+    auto threaded = make();
+    threaded->zero_grad();
+    const double loss = threaded->loss_and_grad(x, y).loss;
+    EXPECT_EQ(loss, serial_loss) << "teams=" << teams;
+    EXPECT_TRUE(bitwise_equal(threaded->forward_cached(x), serial_logits))
+        << "teams=" << teams;
+    auto params = threaded->params();
+    ASSERT_EQ(params.size(), serial_params.size());
+    for (usize i = 0; i < params.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(*params[i].grad, *serial_params[i].grad))
+          << "teams=" << teams << " grad " << params[i].name;
+    }
+  }
+}
+
+TEST(Workspace, ZeroAllocSteadyStateUnderThreadedProbes) {
+  // The threaded arena invariant: once per-team-slot scratch is warm, probe
+  // loops at a fixed team size grow nothing -- alloc events and total float
+  // capacity both stay flat.
+  ThreadsGuard guard;
+  gemm::set_threads(4);
+  auto m = models::make_by_name("vgg11", 10, /*seed=*/4);
+  sys::Rng rng(63);
+  Tensor x({8, 3, 12, 12});
+  for (usize i = 0; i < x.size(); ++i) x[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  const std::vector<u32> y{0, 1, 2, 3, 4, 5, 6, 7};
+  quant::QuantizedModel qm(*m);
+
+  auto probe_round = [&] {
+    m->zero_grad();
+    m->loss_and_grad_incremental(x, y);
+    for (usize l = 0; l < qm.num_layers(); ++l) {
+      qm.flip({l, 1, 7});
+      m->forward_from(qm.layer(l).net_layer);
+      qm.flip({l, 1, 7});
+    }
+    m->evaluate_batch_incremental(x, y);
+  };
+  probe_round();
+  probe_round();  // second pass: every slot/buffer sized for the worst case
+  const usize warm = m->workspace().alloc_events();
+  const usize warm_capacity = m->workspace().slot_capacity();
+  for (int iter = 0; iter < 4; ++iter) probe_round();
+  EXPECT_EQ(m->workspace().alloc_events(), warm)
+      << "threaded steady-state probes grew the workspace arena";
+  EXPECT_EQ(m->workspace().slot_capacity(), warm_capacity)
+      << "threaded steady-state probes reallocated arena storage";
+}
+
+TEST(FusedInt8, LoadStateDropsResidentPanelsInsteadOfGoingStale) {
+  // Direct weight mutation bypassing the QuantizedModel (Model::load_state)
+  // must not leave inference reading a stale resident panel: the guard drops
+  // the panels and invalidates the cache, so both the plain forward and the
+  // incremental evaluation honor the restored weights.
+  sys::Rng rng(64);
+  auto m = make_conv_dense(rng);
+  sys::Rng xrng(65);
+  const Tensor x = random_input(2, xrng);
+  const std::vector<u32> y{1, 0};
+  const auto clean = m->save_state();
+  const Tensor clean_logits = m->forward_cached(x);
+  const double clean_loss = m->evaluate_batch(x, y).loss;
+
+  quant::QuantizedModel qm(*m);  // attaches panels, quantizes the weights
+  m->evaluate_batch_incremental(x, y);  // cache now holds quantized activations
+  m->load_state(clean);
+  EXPECT_TRUE(bitwise_equal(m->forward_cached(x), clean_logits))
+      << "forward read a stale resident panel after load_state";
+  EXPECT_EQ(m->evaluate_batch_incremental(x, y).loss, clean_loss)
+      << "incremental evaluation reused a stale cache after load_state";
 }
 
 TEST(ForwardFrom, WorksOnResNetBlocks) {

@@ -6,10 +6,18 @@
 #include <memory>
 
 #include "models/model_zoo.hpp"
+#include "nn/gemm.hpp"
 #include "nn/trainer.hpp"
 #include "quant/quantizer.hpp"
 
 namespace dnnd::testutil {
+
+/// Restores the process-global GEMM team setting on scope exit, so team-size
+/// sweeps cannot leak into later tests.
+struct ThreadsGuard {
+  usize saved = nn::gemm::threads_setting();
+  ~ThreadsGuard() { nn::gemm::set_threads(saved); }
+};
 
 /// A small, easy dataset for attack tests: 4 classes, 1x8x8, low noise.
 inline const nn::SplitDataset& easy_data() {
