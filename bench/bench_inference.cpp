@@ -8,13 +8,20 @@
 //
 // Emits machine-readable JSON (the BENCH trajectory seed): to stdout, and to
 // the file named by DNND_JSON_OUT when set (the campaign sink convention).
-// The JSON carries a "threads" field (the resolved GEMM team size) so the CI
-// DNND_THREADS matrix uploads distinguishable artifacts.
+// The JSON carries "threads" (the resolved GEMM team size) and "simd" (the
+// active kernel ISA) fields so the CI DNND_THREADS x DNND_SIMD matrix
+// uploads distinguishable artifacts. The explicit-SIMD kernels are A/B'd
+// against the forced-scalar path (byte-identical, only wall clock moves) and
+// the opt-in FMA fast path (allowed to diverge in rounding; reported
+// separately and excluded from every byte gate).
 //
 //   DNND_BENCH_MODEL   zoo arch (default vgg11)
 //   DNND_BENCH_BATCH   batch size (default 32)
 //   DNND_BENCH_SCALE   small -> shorter timed windows
 //   DNND_THREADS       GEMM team size (0/unset = hardware concurrency)
+//   DNND_SIMD          0 = force the scalar microkernels
+//   DNND_FMA           1 = fused fast path (divergent rounding allowed)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,7 +31,9 @@
 #include "bench_util.hpp"
 #include "nn/gemm.hpp"
 #include "nn/model.hpp"
+#include "nn/simd.hpp"
 #include "quant/quantizer.hpp"
+#include "sys/env.hpp"
 #include "sys/json.hpp"
 
 using namespace dnnd;
@@ -52,17 +61,18 @@ double time_per_call(double window, Fn&& fn) {
 int main() {
   const char* model_env = std::getenv("DNND_BENCH_MODEL");
   const std::string arch = model_env != nullptr && model_env[0] != '\0' ? model_env : "vgg11";
-  usize batch = 32;
-  if (const char* v = std::getenv("DNND_BENCH_BATCH"); v != nullptr) {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n > 0) batch = static_cast<usize>(n);
-  }
+  // 0 means "use the default", matching the DNND_THREADS convention.
+  usize batch = sys::env_usize("DNND_BENCH_BATCH", 32);
+  if (batch == 0) batch = 32;
   const double window = bench::small_scale() ? 0.1 : 0.5;
   const usize threads = nn::gemm::threads();
+  const nn::simd::Isa isa = nn::simd::active_isa();
 
   bench::banner("Inference engine throughput -- naive vs GEMM, incremental probes",
                 "engine microbenchmark (BENCH trajectory; not a paper figure)");
   std::printf("[threads] GEMM team size: %zu\n", threads);
+  std::printf("[simd] kernel ISA: %s (best supported: %s)\n", nn::simd::isa_name(isa),
+              nn::simd::isa_name(nn::simd::best_isa()));
 
   auto model = models::make_by_name(arch, 10, /*seed=*/1);
   sys::Rng rng(99);
@@ -81,6 +91,33 @@ int main() {
   std::printf("  naive  : %8.1f images/s (%.3f ms/batch)\n", naive_ips, naive_spc * 1e3);
   std::printf("  engine : %8.1f images/s (%.3f ms/batch)\n", engine_ips, engine_spc * 1e3);
   std::printf("  speedup: %.2fx\n", speedup);
+
+  // ---- explicit SIMD tiles vs forced scalar, plus the FMA fast path ---------
+  // The scalar leg is byte-identical to the engine leg by construction (only
+  // the wall clock moves); the FMA leg may diverge in rounding and is
+  // excluded from every zero-tolerance gate -- it is reported here so the
+  // speed/accuracy trade is visible before anyone opts in.
+  const int saved_scalar = nn::simd::scalar_override();
+  const int saved_fma = nn::simd::fma_override();
+  nn::simd::set_scalar_override(1);
+  nn::simd::set_fma_override(0);
+  const double scalar_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  nn::simd::set_scalar_override(0);
+  const double simd_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  nn::simd::set_fma_override(1);
+  const double fma_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  nn::simd::set_scalar_override(saved_scalar);
+  nn::simd::set_fma_override(saved_fma);
+  const double scalar_ips = static_cast<double>(batch) / scalar_spc;
+  const double simd_ips = static_cast<double>(batch) / simd_spc;
+  const double fma_ips = static_cast<double>(batch) / fma_spc;
+  std::printf("[simd] explicit %s tiles vs forced scalar (byte-identical paths):\n",
+              nn::simd::isa_name(nn::simd::best_isa()));
+  std::printf("  scalar : %8.1f images/s (%.3f ms/batch)\n", scalar_ips, scalar_spc * 1e3);
+  std::printf("  simd   : %8.1f images/s (%.2fx over scalar)\n", simd_ips,
+              scalar_spc / simd_spc);
+  std::printf("  fma    : %8.1f images/s (opt-in, divergent rounding, NOT byte-gated)\n",
+              fma_ips);
 
   // ---- incremental probe cost per layer -------------------------------------
   // forward_from(k) recomputes layers >= k over the cached prefix; a probe at
@@ -137,9 +174,14 @@ int main() {
   w.key("model").value(arch);
   w.key("batch").value(batch);
   w.key("threads").value(threads);
+  w.key("simd").value(nn::simd::isa_name(isa));
   w.key("naive_images_per_s").value(naive_ips);
   w.key("engine_images_per_s").value(engine_ips);
   w.key("speedup").value(speedup);
+  w.key("scalar_images_per_s").value(scalar_ips);
+  w.key("simd_images_per_s").value(simd_ips);
+  w.key("simd_speedup").value(scalar_spc / simd_spc);
+  w.key("fma_images_per_s").value(fma_ips);
   w.key("full_forward_us").value(full_us);
   w.key("bfa_step_ms").value(step_engine * 1e3);
   w.key("bfa_step_materialized_ms").value(step_materialized * 1e3);

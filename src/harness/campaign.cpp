@@ -3,7 +3,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
@@ -14,6 +13,7 @@
 #include "mapping/weight_mapping.hpp"
 #include "nn/gemm.hpp"
 #include "nn/thread_pool.hpp"
+#include "sys/env.hpp"
 #include "sys/json.hpp"
 #include "system/protected_system.hpp"
 
@@ -321,42 +321,63 @@ const ScenarioResult& CampaignResult::by_id(std::string_view id) const {
   throw std::out_of_range("no scenario result with id: " + std::string(id));
 }
 
-usize env_threads() {
-  const char* v = std::getenv("DNND_THREADS");
-  if (v == nullptr) return 0;
-  const long n = std::strtol(v, nullptr, 10);
-  return n > 0 ? static_cast<usize>(n) : 0;
+usize env_threads() { return sys::env_usize("DNND_THREADS", 0); }
+
+namespace {
+
+/// at() with a loader-specific error: names the missing field AND where it
+/// was expected, so a truncated baseline fails loudly instead of loading as
+/// a plausible-looking campaign.
+const sys::JsonValue& require_field(const sys::JsonValue& obj, std::string_view key,
+                                    const std::string& where) {
+  if (!obj.is_object() || !obj.contains(key)) {
+    throw sys::JsonParseError("campaign_from_json: missing required field \"" +
+                              std::string(key) + "\" in " + where);
+  }
+  return obj.at(key);
 }
+
+}  // namespace
 
 CampaignResult campaign_from_json(std::string_view json) {
   const sys::JsonValue doc = sys::parse_json(json);
-  static const sys::JsonValue kZero = sys::JsonValue::number(0.0);
-  static const sys::JsonValue kEmpty = sys::JsonValue::string("");
 
   CampaignResult out;
-  out.threads_used = doc.contains("threads") ? static_cast<usize>(doc.at("threads").as_u64()) : 1;
-  out.total_seconds = doc.get_or("total_seconds", kZero).as_double();
+  // to_json writes the timing fields as a unit (include_timing on or off);
+  // half-present timing means a truncated or hand-edited document, which
+  // must not load as a valid campaign with defaulted numbers.
+  const bool timed = doc.contains("threads") || doc.contains("total_seconds");
+  if (timed) {
+    out.threads_used = static_cast<usize>(require_field(doc, "threads", "document").as_u64());
+    out.total_seconds = require_field(doc, "total_seconds", "document").as_double();
+  }
 
-  for (const sys::JsonValue& s : doc.at("scenarios").items()) {
+  for (const sys::JsonValue& s : require_field(doc, "scenarios", "document").items()) {
     ScenarioResult r;
-    r.id = s.at("id").as_string();
-    r.label = s.at("label").as_string();
-    r.model = s.at("model").as_string();
-    r.defense = s.at("defense").as_string();
-    r.attack = s.at("attack").as_string();
-    r.ok = s.at("ok").as_bool();
-    r.error = s.get_or("error", kEmpty).as_string();
-    r.clean_accuracy = s.at("clean_accuracy").as_double();
-    r.post_accuracy = s.at("post_accuracy").as_double();
-    r.flips = s.at("flips").as_string();
-    r.attempts = static_cast<usize>(s.at("attempts").as_u64());
-    r.landed = static_cast<usize>(s.at("landed").as_u64());
-    r.blocked = static_cast<usize>(s.at("blocked").as_u64());
-    r.secured_bits = static_cast<usize>(s.at("secured_bits").as_u64());
-    r.secured_rows = static_cast<usize>(s.at("secured_rows").as_u64());
-    r.total_bits = s.at("total_bits").as_u64();
-    for (const sys::JsonValue& v : s.at("trace").items()) r.trace.push_back(v.as_double());
-    r.wall_seconds = s.get_or("wall_seconds", kZero).as_double();
+    const std::string where =
+        "scenario " + (s.is_object() && s.contains("id") ? s.at("id").as_string()
+                                                         : std::to_string(out.results.size()));
+    r.id = require_field(s, "id", where).as_string();
+    r.label = require_field(s, "label", where).as_string();
+    r.model = require_field(s, "model", where).as_string();
+    r.defense = require_field(s, "defense", where).as_string();
+    r.attack = require_field(s, "attack", where).as_string();
+    r.ok = require_field(s, "ok", where).as_bool();
+    // to_json writes "error" exactly when the scenario failed.
+    if (!r.ok) r.error = require_field(s, "error", where).as_string();
+    r.clean_accuracy = require_field(s, "clean_accuracy", where).as_double();
+    r.post_accuracy = require_field(s, "post_accuracy", where).as_double();
+    r.flips = require_field(s, "flips", where).as_string();
+    r.attempts = static_cast<usize>(require_field(s, "attempts", where).as_u64());
+    r.landed = static_cast<usize>(require_field(s, "landed", where).as_u64());
+    r.blocked = static_cast<usize>(require_field(s, "blocked", where).as_u64());
+    r.secured_bits = static_cast<usize>(require_field(s, "secured_bits", where).as_u64());
+    r.secured_rows = static_cast<usize>(require_field(s, "secured_rows", where).as_u64());
+    r.total_bits = require_field(s, "total_bits", where).as_u64();
+    for (const sys::JsonValue& v : require_field(s, "trace", where).items()) {
+      r.trace.push_back(v.as_double());
+    }
+    if (timed) r.wall_seconds = require_field(s, "wall_seconds", where).as_double();
     out.results.push_back(std::move(r));
   }
   return out;

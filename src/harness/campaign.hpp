@@ -88,7 +88,10 @@ class CampaignRunner {
 };
 
 /// Worker-thread count from the DNND_THREADS env var (0/unset = hardware
-/// concurrency) -- the knob the bench binaries expose.
+/// concurrency) -- the knob the bench binaries expose. Parsed through
+/// sys::env_usize, the same validated parser the GEMM team size uses, so a
+/// malformed value warns and falls back instead of silently diverging from
+/// the engine's reading of the identical variable.
 usize env_threads();
 
 /// Parses a campaign document produced by CampaignResult::to_json() (with or
@@ -96,7 +99,12 @@ usize env_threads();
 /// be reloaded and diffed. Round-trips byte-exactly when re-serialized with
 /// the matching flag: campaign_from_json(r.to_json()).to_json() == r.to_json()
 /// and campaign_from_json(r.to_json(true)).to_json(true) == r.to_json(true).
-/// Throws sys::JsonParseError on malformed or wrong-shape input.
+/// Strict: every field to_json writes is required (the timing fields as a
+/// unit -- `threads`/`total_seconds`/per-scenario `wall_seconds` must be all
+/// present or all absent, and `error` is required exactly when ok is false),
+/// so a truncated or hand-edited baseline throws instead of loading as a
+/// plausible zero-flip campaign. Throws sys::JsonParseError on malformed or
+/// wrong-shape input.
 CampaignResult campaign_from_json(std::string_view json);
 
 }  // namespace dnnd::harness

@@ -2,7 +2,7 @@
 
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
+#include <limits>
 #include <map>
 
 #include "sys/table.hpp"
@@ -16,10 +16,23 @@ std::string fmt_acc(double v) { return sys::fmt(100.0 * v, 4) + "%"; }
 }  // namespace
 
 i64 leading_flip_count(const std::string& flips) {
+  // Hand-rolled digit walk instead of strtoll: the library call reports
+  // neither overflow nor where it stopped, so a malformed flips string could
+  // parse as a small plausible count and sail through the regression gate.
   usize i = 0;
   while (i < flips.size() && (flips[i] == '>' || flips[i] == '<' || flips[i] == ' ')) ++i;
   if (i >= flips.size() || !std::isdigit(static_cast<unsigned char>(flips[i]))) return -1;
-  return std::strtoll(flips.c_str() + i, nullptr, 10);
+  constexpr i64 kMax = std::numeric_limits<i64>::max();
+  i64 value = 0;
+  for (; i < flips.size() && std::isdigit(static_cast<unsigned char>(flips[i])); ++i) {
+    const i64 digit = flips[i] - '0';
+    if (value > (kMax - digit) / 10) return -1;  // overflow is malformed, not wrapped
+    value = value * 10 + digit;
+  }
+  // The count may only be followed by a paper-style annotation (" (3
+  // landed)"); any other suffix means the field was corrupted or renamed.
+  if (i < flips.size() && flips[i] != ' ') return -1;
+  return value;
 }
 
 DiffReport diff_campaigns(const CampaignResult& baseline, const CampaignResult& current,
@@ -70,9 +83,14 @@ DiffReport diff_campaigns(const CampaignResult& baseline, const CampaignResult& 
     check_acc("clean_accuracy", b.clean_accuracy, c.clean_accuracy);
     check_acc("post_accuracy", b.post_accuracy, c.post_accuracy);
 
+    // A successful scenario must carry a parseable flip count on BOTH sides:
+    // a malformed/hand-edited baseline field is itself a loud failure, even
+    // when the two strings happen to match byte-for-byte.
+    const i64 bf = leading_flip_count(b.flips);
+    const i64 cf = leading_flip_count(c.flips);
+    if (b.ok && bf < 0) note("baseline flips unparseable: \"" + b.flips + "\"", true);
+    if (c.ok && cf < 0) note("current flips unparseable: \"" + c.flips + "\"", true);
     if (b.flips != c.flips) {
-      const i64 bf = leading_flip_count(b.flips);
-      const i64 cf = leading_flip_count(c.flips);
       const bool numeric = bf >= 0 && cf >= 0;
       d.flip_delta = numeric ? cf - bf : 0;
       note("flips \"" + b.flips + "\" -> \"" + c.flips + "\"",

@@ -51,7 +51,12 @@ struct DiffReport {
 };
 
 /// Leading integer of a paper-style flips string (">80" -> 80,
-/// "30 (0 landed)" -> 30). Returns -1 when no leading count is present.
+/// "30 (0 landed)" -> 30). Returns -1 when no leading count is present, the
+/// count overflows i64, or the count is followed by anything other than a
+/// space-separated annotation -- malformed fields must never parse as a
+/// plausible number. diff_campaigns flags an unparseable flips field of a
+/// successful scenario as a regression on either side, even when baseline
+/// and current match byte-for-byte.
 i64 leading_flip_count(const std::string& flips);
 
 /// Compares scenario results by id (order-insensitive). Every field beyond

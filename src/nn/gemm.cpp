@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <thread>
 
+#include "nn/simd.hpp"
 #include "nn/thread_pool.hpp"
 #include "nn/workspace.hpp"
+#include "sys/env.hpp"
 
 namespace dnnd::nn::gemm {
 
@@ -20,15 +21,14 @@ std::atomic<usize> g_threads{0};  ///< 0 = auto (env, then hardware)
 /// itself is past that scale. Tiny campaign models stay serial through this.
 constexpr usize kParallelMinWork = usize{1} << 15;
 
+/// Re-reads the environment on every call (no once-only cache): after a
+/// mid-process env change, set_threads(0) must resolve to the NEW value, or
+/// tests and the campaign's budget-split restore disagree about the team
+/// size. env_usize warns (once) on garbage instead of silently falling back.
 usize auto_threads() {
-  static const usize resolved = [] {
-    if (const char* v = std::getenv("DNND_THREADS"); v != nullptr) {
-      const long n = std::strtol(v, nullptr, 10);
-      if (n > 0) return static_cast<usize>(n);
-    }
-    return static_cast<usize>(std::max(1u, std::thread::hardware_concurrency()));
-  }();
-  return resolved;
+  const usize n = sys::env_usize("DNND_THREADS", 0);
+  if (n > 0) return n;
+  return static_cast<usize>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
 /// B rows interleaved per panel: panel[k * kNr + r] = B[(n0 + r) * ldb + k].
@@ -56,21 +56,25 @@ inline float bias_for(const float* bias, Bias kind, usize n) {
   return kind == Bias::kPerCol ? bias[n] : 0.0f;
 }
 
-/// The serial kernel body (the PR 3 gemm_nt_prepacked, verbatim): one float
-/// accumulator per output, advanced in ascending k. The threaded entry point
-/// below only ever calls this on disjoint output blocks.
-void kernel(usize M, usize N, usize K, const float* A, usize lda, const float* packed_b,
-            float* C, usize crs, usize ccs, const float* bias, Bias bias_kind) {
+/// The serial kernel body: one float accumulator per output, advanced in
+/// ascending k. The inner k loops are the simd:: microkernels -- explicit
+/// AVX2/NEON register tiles with one output column per vector lane, byte-
+/// identical to the scalar loops by construction (see nn/simd.hpp for the
+/// lane-per-accumulator argument). The threaded entry point below only ever
+/// calls this on disjoint output blocks.
+void kernel(const simd::Kernels& simd_kernels, usize M, usize N, usize K, const float* A,
+            usize lda, const float* packed_b, float* C, usize crs, usize ccs,
+            const float* bias, Bias bias_kind) {
   for (usize n0 = 0; n0 < N; n0 += kNr) {
     const usize rows = std::min(kNr, N - n0);
     const float* panel = packed_b + n0 * K;
     for (usize m0 = 0; m0 < M; m0 += kMc) {
       const usize m1 = std::min(M, m0 + kMc);
       usize m = m0;
-      // 8x8 register tile: one panel line feeds eight A rows per k step (the
-      // shape GCC vectorizes best here). Each of the 64 accumulators is still
-      // a single float advanced in ascending k, so the tiling cannot change
-      // any output bit.
+      // 8x8 register tile: one panel line feeds eight A rows per k step. Each
+      // of the 64 accumulators is still a single float advanced in ascending
+      // k, so neither the tiling nor the lane assignment can change any
+      // output bit.
       for (; m + kMr <= m1; m += kMr) {
         const float* a[kMr];
         for (usize i = 0; i < kMr; ++i) a[i] = A + (m + i) * lda;
@@ -80,13 +84,7 @@ void kernel(usize M, usize N, usize K, const float* A, usize lda, const float* p
             acc[i][r] = bias_for(bias, bias_kind, n0 + r < N ? n0 + r : N - 1);
           }
         }
-        const float* p = panel;
-        for (usize k = 0; k < K; ++k, p += kNr) {
-          for (usize i = 0; i < kMr; ++i) {
-            const float av = a[i][k];
-            for (usize r = 0; r < kNr; ++r) acc[i][r] += av * p[r];
-          }
-        }
+        simd_kernels.tile8(K, a, panel, &acc[0][0]);
         for (usize i = 0; i < kMr; ++i) {
           float* c = C + (m + i) * crs + n0 * ccs;
           for (usize r = 0; r < rows; ++r) c[r * ccs] = acc[i][r];
@@ -98,11 +96,7 @@ void kernel(usize M, usize N, usize K, const float* A, usize lda, const float* p
         for (usize r = 0; r < kNr; ++r) {
           acc[r] = bias_for(bias, bias_kind, n0 + r < N ? n0 + r : N - 1);
         }
-        const float* p = panel;
-        for (usize k = 0; k < K; ++k, p += kNr) {
-          const float av = a[k];
-          for (usize r = 0; r < kNr; ++r) acc[r] += av * p[r];
-        }
+        simd_kernels.row1(K, a, panel, acc);
         float* c = C + m * crs + n0 * ccs;
         for (usize r = 0; r < rows; ++r) c[r * ccs] = acc[r];
       }
@@ -165,8 +159,12 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
   const usize row_tiles = (M + kMr - 1) / kMr;
   const usize panels = (N + kNr - 1) / kNr;
   const usize teams = plan_teams(std::max(row_tiles, panels), M * N * K);
+  // Resolved once per GEMM (not per team slot): the knob reads fall through
+  // to getenv when no override is set, which must stay off the per-probe
+  // hot path -- BFA campaigns issue thousands of microsecond-scale GEMMs.
+  const simd::Kernels simd_kernels = simd::active_kernels();
   if (teams <= 1) {
-    kernel(M, N, K, A, lda, packed_b, C, crs, ccs, bias, bias_kind);
+    kernel(simd_kernels, M, N, K, A, lda, packed_b, C, crs, ccs, bias, bias_kind);
     return;
   }
   if (row_tiles >= teams) {
@@ -176,8 +174,8 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
       const usize chunk = (row_tiles + nslots - 1) / nslots * kMr;
       const usize lo = std::min(M, slot * chunk), hi = std::min(M, lo + chunk);
       if (lo < hi) {
-        kernel(hi - lo, N, K, A + lo * lda, lda, packed_b, C + lo * crs, crs, ccs, bias,
-               bias_kind);
+        kernel(simd_kernels, hi - lo, N, K, A + lo * lda, lda, packed_b, C + lo * crs, crs,
+               ccs, bias, bias_kind);
       }
     });
   } else {
@@ -188,8 +186,8 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
       const usize p_lo = std::min(panels, slot * chunk), p_hi = std::min(panels, p_lo + chunk);
       if (p_lo >= p_hi) return;
       const usize n_lo = p_lo * kNr, n_hi = std::min(N, p_hi * kNr);
-      kernel(M, n_hi - n_lo, K, A, lda, packed_b + n_lo * K, C + n_lo * ccs, crs, ccs,
-             bias_kind == Bias::kPerCol ? bias + n_lo : bias, bias_kind);
+      kernel(simd_kernels, M, n_hi - n_lo, K, A, lda, packed_b + n_lo * K, C + n_lo * ccs,
+             crs, ccs, bias_kind == Bias::kPerCol ? bias + n_lo : bias, bias_kind);
     });
   }
 }

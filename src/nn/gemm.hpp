@@ -22,6 +22,13 @@
 // results are therefore byte-identical to serial by construction, for every
 // team size (tests/test_gemm.cpp sweeps 1/2/4/hardware). The team size comes
 // from set_threads() / the DNND_THREADS env var.
+//
+// The inner k loops are explicit SIMD register tiles (nn/simd.hpp): runtime-
+// dispatched AVX2/NEON microkernels that put one output column per vector
+// lane and issue a distinct non-contracted multiply and add per lane -- the
+// same contract again, so the default SIMD path is byte-identical to the
+// scalar path (DNND_SIMD=0 forces scalar; DNND_FMA=1 opts into a fused fast
+// path that may diverge in rounding and is excluded from the byte gates).
 #pragma once
 
 #include "sys/types.hpp"

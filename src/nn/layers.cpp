@@ -177,29 +177,32 @@ Conv2d::Conv2d(usize in_ch, usize out_ch, usize kernel, usize stride, usize padd
       pad_(padding) {}
 
 void Conv2d::im2col(const Tensor& x, usize b, const ConvGeom& g, float* col) const {
+  im2col_range(x, b, g, 0, g.oh * g.ow, col);
+}
+
+void Conv2d::im2col_range(const Tensor& x, usize b, const ConvGeom& g, usize p_lo,
+                          usize p_hi, float* col) const {
   const float* xb = x.data() + b * g.in_ch * g.h * g.w;
   const usize K = g.patch_size();
-  usize p = 0;
-  for (usize oi = 0; oi < g.oh; ++oi) {
-    for (usize oj = 0; oj < g.ow; ++oj, ++p) {
-      float* cp = col + p * K;
-      for_each_patch_row(
-          g, oi, oj,
-          [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
-              bool row_valid) {
-            float* dst = cp + kk_row;
-            if (!row_valid) {
-              for (usize kj = 0; kj < k_; ++kj) dst[kj] = 0.0f;
-              return;
-            }
-            // Spans are at most k (<= 3 in the zoo): an inline loop beats a
-            // variable-size memcpy call.
-            const float* src = xb + (ic * g.h + hi) * g.w + wj_lo;
-            for (usize kj = 0; kj < kj_lo; ++kj) dst[kj] = 0.0f;
-            for (usize kj = kj_lo; kj < kj_hi; ++kj) dst[kj] = src[kj - kj_lo];
-            for (usize kj = kj_hi; kj < k_; ++kj) dst[kj] = 0.0f;
-          });
-    }
+  for (usize p = p_lo; p < p_hi; ++p) {
+    const usize oi = p / g.ow, oj = p % g.ow;
+    float* cp = col + p * K;
+    for_each_patch_row(
+        g, oi, oj,
+        [&](usize kk_row, usize ic, usize hi, usize kj_lo, usize kj_hi, usize wj_lo,
+            bool row_valid) {
+          float* dst = cp + kk_row;
+          if (!row_valid) {
+            for (usize kj = 0; kj < k_; ++kj) dst[kj] = 0.0f;
+            return;
+          }
+          // Spans are at most k (<= 3 in the zoo): an inline loop beats a
+          // variable-size memcpy call.
+          const float* src = xb + (ic * g.h + hi) * g.w + wj_lo;
+          for (usize kj = 0; kj < kj_lo; ++kj) dst[kj] = 0.0f;
+          for (usize kj = kj_lo; kj < kj_hi; ++kj) dst[kj] = src[kj - kj_lo];
+          for (usize kj = kj_hi; kj < k_; ++kj) dst[kj] = 0.0f;
+        });
   }
 }
 
@@ -248,9 +251,24 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace&
     });
     return;
   }
+  // Batch too small to split (a BFA probe forwards one sample at a time):
+  // thread the im2col gather itself so patch materialization stops
+  // serializing ahead of the threaded GEMM. Disjoint patch ranges write
+  // disjoint rows of the one shared col buffer (sized here, OUTSIDE the
+  // region, so no slot ever grows it), and every element is computed exactly
+  // as the serial gather computes it -- byte-identical by construction.
   float* col = ws.col_buffer(P * K);
+  const usize gather_teams = gemm::plan_teams(P, P * K);
   for (usize b = 0; b < n; ++b) {
-    im2col(x, b, g, col);
+    if (gather_teams > 1) {
+      ThreadPool::instance().parallel(gather_teams, [&](usize slot, usize nslots) {
+        const usize chunk = (P + nslots - 1) / nslots;
+        const usize lo = std::min(P, slot * chunk), hi = std::min(P, lo + chunk);
+        if (lo < hi) im2col_range(x, b, g, lo, hi, col);
+      });
+    } else {
+      im2col(x, b, g, col);
+    }
     gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P, 1, P,
                             bias.data(), gemm::Bias::kPerCol);
   }

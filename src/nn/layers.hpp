@@ -141,6 +141,12 @@ class Conv2d final : public Layer {
   }
   /// Gathers sample `b`'s patches into `col`, patch-major: col[p*K + kk].
   void im2col(const Tensor& x, usize b, const ConvGeom& g, float* col) const;
+  /// Gathers only patches [p_lo, p_hi) of sample b into col (row p at
+  /// col + p * patch_size). Disjoint ranges touch disjoint col rows, so the
+  /// threaded gather in forward_into can partition one sample's patches
+  /// across a pool team into one shared buffer, byte-identically.
+  void im2col_range(const Tensor& x, usize b, const ConvGeom& g, usize p_lo, usize p_hi,
+                    float* col) const;
 
   usize in_ch_, out_ch_, k_, stride_, pad_;
   Tensor x_cache_;

@@ -13,6 +13,9 @@
 // reserve_team(teams) (serial, before entering a pool region) sizes the
 // buffer tables, after which each team slot grows and reuses only its own
 // buffer -- the steady state stays zero-allocation at any fixed team size.
+// The threaded im2col gather uses the complementary pattern: one SHARED
+// buffer, fully sized before the region (grow() is not safe inside one),
+// into which team slots write disjoint patch-row ranges.
 //
 // `alloc_events()` counts arena growth (new slots, buffer grows); a constant
 // count across iterations is the observable zero-allocation invariant that

@@ -1,0 +1,56 @@
+#include "sys/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace dnnd::sys {
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/// Warns once per (name, value) pair so a garbage knob read on a hot path
+/// (gemm::threads() re-reads the environment every call) cannot flood stderr.
+void warn_malformed(const char* name, const char* value, usize fallback) {
+  static std::mutex mutex;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!warned.insert(std::string(name) + "=" + value).second) return;
+  std::fprintf(stderr,
+               "[dnnd] warning: ignoring malformed %s=\"%s\" "
+               "(expected a non-negative integer); using %zu\n",
+               name, value, fallback);
+}
+
+}  // namespace
+
+std::optional<usize> parse_usize(std::string_view text) {
+  usize lo = 0, hi = text.size();
+  while (lo < hi && is_space(text[lo])) ++lo;
+  while (hi > lo && is_space(text[hi - 1])) --hi;
+  if (lo == hi) return std::nullopt;
+  constexpr usize kMax = std::numeric_limits<usize>::max();
+  usize value = 0;
+  for (usize i = lo; i < hi; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;  // sign, hex, trailing junk
+    const usize digit = static_cast<usize>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+usize env_usize(const char* name, usize fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  if (const auto parsed = parse_usize(v); parsed.has_value()) return *parsed;
+  warn_malformed(name, v, fallback);
+  return fallback;
+}
+
+}  // namespace dnnd::sys

@@ -1,0 +1,31 @@
+// Environment-variable knob parsing, shared by every DNND_* integer knob.
+//
+// Before this helper the tree carried three divergent DNND_THREADS parsers
+// (gemm, campaign, bench_inference), all built on bare strtol with no end
+// pointer: garbage ("4x"), negative, and overflowing values silently decayed
+// to some fallback, so two subsystems could resolve the same environment to
+// different team sizes. env_usize is the single replacement: unset/empty
+// means "use the fallback", a canonical non-negative decimal integer is the
+// value, and anything else is rejected with a one-time stderr warning (never
+// silently) before falling back.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "sys/types.hpp"
+
+namespace dnnd::sys {
+
+/// Parses a canonical non-negative base-10 integer (surrounding ASCII
+/// whitespace allowed). Returns nullopt for anything else: empty, sign
+/// prefixes, hex, trailing garbage, or a value that overflows usize.
+[[nodiscard]] std::optional<usize> parse_usize(std::string_view text);
+
+/// Reads env var `name` as a usize knob. Unset or empty returns `fallback`;
+/// a malformed value (see parse_usize) prints one warning per distinct
+/// (name, value) pair to stderr and returns `fallback`. Safe to call from
+/// hot paths: no allocation on the well-formed path.
+[[nodiscard]] usize env_usize(const char* name, usize fallback);
+
+}  // namespace dnnd::sys

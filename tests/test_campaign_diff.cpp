@@ -8,6 +8,7 @@
 #include "harness/campaign.hpp"
 #include "harness/campaign_diff.hpp"
 #include "harness/sink.hpp"
+#include "sys/json.hpp"
 
 namespace dnnd::harness {
 namespace {
@@ -42,6 +43,36 @@ TEST(LeadingFlipCount, ParsesPaperStyleStrings) {
   EXPECT_EQ(leading_flip_count("12"), 12);
   EXPECT_EQ(leading_flip_count(""), -1);
   EXPECT_EQ(leading_flip_count("ERROR: boom"), -1);
+}
+
+TEST(LeadingFlipCount, RejectsMalformedCountsInsteadOfPartialParsing) {
+  // The old strtoll call had no end pointer or overflow check: "12x" parsed
+  // as 12 and a wrapped 20-digit count as some small number, both sailing
+  // through the gate. Malformed must mean -1, never a plausible value.
+  EXPECT_EQ(leading_flip_count("12x"), -1);             // trailing garbage
+  EXPECT_EQ(leading_flip_count("12(3 landed)"), -1);    // annotation without space
+  EXPECT_EQ(leading_flip_count("99999999999999999999999999"), -1);  // i64 overflow
+  EXPECT_EQ(leading_flip_count(">"), -1);
+  EXPECT_EQ(leading_flip_count("12 (3 landed)"), 12);   // canonical annotation still fine
+}
+
+TEST(CampaignDiff, UnparseableFlipsOnASuccessfulScenarioFailsLoudly) {
+  // Even byte-identical sides must not pass the gate when the flips field of
+  // an ok scenario is corrupted -- this is the dnnd_diff exit-1 condition on
+  // a malformed baseline (the CLI maps report.ok() == false to exit 1).
+  auto base = make_campaign();
+  base.results[0].flips = "corrupted-by-hand-edit";
+  const auto report = diff_campaigns(base, base);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("unparseable"), std::string::npos);
+
+  // A failed scenario legitimately carries an empty flips field; that must
+  // NOT trip the validation (the committed baseline may contain such rows).
+  auto failed = make_campaign();
+  failed.results[0].ok = false;
+  failed.results[0].error = "boom";
+  failed.results[0].flips = "";
+  EXPECT_TRUE(diff_campaigns(failed, failed).ok());
 }
 
 TEST(CampaignDiff, IdenticalCampaignsPass) {
@@ -124,6 +155,77 @@ TEST(CampaignDiff, RoundTripThroughJsonDiffsClean) {
   const auto reloaded = campaign_from_json(json);
   EXPECT_EQ(reloaded.to_json(), json);
   EXPECT_TRUE(diff_campaigns(base, reloaded).ok());
+}
+
+TEST(CampaignFromJson, TimedRoundTripPreservesTimingFields) {
+  auto base = make_campaign();
+  base.threads_used = 4;
+  base.total_seconds = 1.5;
+  base.results[0].wall_seconds = 0.75;
+  const std::string json = base.to_json(/*include_timing=*/true);
+  const auto reloaded = campaign_from_json(json);
+  EXPECT_EQ(reloaded.to_json(true), json);
+  EXPECT_EQ(reloaded.threads_used, 4u);
+  EXPECT_DOUBLE_EQ(reloaded.total_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(reloaded.results[0].wall_seconds, 0.75);
+}
+
+TEST(CampaignFromJson, StrictLoaderRejectsTruncatedOrMissingFieldDocuments) {
+  // Loader regression: missing required fields used to default silently, so
+  // a truncated baseline loaded as a plausible zero-flip campaign and the
+  // regression gate compared against garbage.
+  EXPECT_THROW(campaign_from_json("{}"), sys::JsonParseError);
+  EXPECT_THROW(campaign_from_json(R"({"scenarios":[{"id":"x"}]})"), sys::JsonParseError);
+  // A scenario stripped of its flips field (the diff gate's key signal).
+  EXPECT_THROW(
+      campaign_from_json(
+          R"({"scenarios":[{"id":"x","label":"x","model":"m","defense":"d","attack":"a",)"
+          R"("ok":true,"clean_accuracy":0.9,"post_accuracy":0.5,"attempts":0,"landed":0,)"
+          R"("blocked":0,"secured_bits":0,"secured_rows":0,"total_bits":8,"trace":[]}]})"),
+      sys::JsonParseError);
+  // A failed scenario must carry its error string.
+  EXPECT_THROW(
+      campaign_from_json(
+          R"({"scenarios":[{"id":"x","label":"x","model":"m","defense":"d","attack":"a",)"
+          R"("ok":false,"clean_accuracy":0.9,"post_accuracy":0.5,"flips":"","attempts":0,)"
+          R"("landed":0,"blocked":0,"secured_bits":0,"secured_rows":0,"total_bits":8,)"
+          R"("trace":[]}]})"),
+      sys::JsonParseError);
+  // Outright truncation is a parse error, not a partial load.
+  const std::string full = make_campaign().to_json();
+  EXPECT_THROW(campaign_from_json(full.substr(0, full.size() / 2)), sys::JsonParseError);
+}
+
+TEST(CampaignFromJson, TimingFieldsAreRequiredAsAUnit) {
+  auto base = make_campaign();
+  const std::string timed = base.to_json(/*include_timing=*/true);
+
+  // Strip just "total_seconds": half-present timing must throw, not default.
+  sys::JsonValue doc = sys::parse_json(timed);
+  sys::JsonValue half = sys::JsonValue::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (key != "total_seconds") half.set(key, value);
+  }
+  EXPECT_THROW(campaign_from_json(half.dump()), sys::JsonParseError);
+
+  // Strip a scenario's wall_seconds from a timed document: same rule.
+  sys::JsonValue no_wall = sys::JsonValue::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (key != "scenarios") {
+      no_wall.set(key, value);
+      continue;
+    }
+    sys::JsonValue scenarios = sys::JsonValue::array();
+    for (const auto& s : value.items()) {
+      sys::JsonValue copy = sys::JsonValue::object();
+      for (const auto& [sk, sv] : s.members()) {
+        if (sk != "wall_seconds") copy.set(sk, sv);
+      }
+      scenarios.push_back(std::move(copy));
+    }
+    no_wall.set(key, std::move(scenarios));
+  }
+  EXPECT_THROW(campaign_from_json(no_wall.dump()), sys::JsonParseError);
 }
 
 // ---- sinks ------------------------------------------------------------------

@@ -6,18 +6,22 @@
 // int8 pack must reproduce the float pack bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "nn/gemm.hpp"
 #include "nn/layers.hpp"
 #include "nn/reference.hpp"
+#include "nn/simd.hpp"
 #include "nn/workspace.hpp"
 #include "test_util.hpp"
 
 namespace dnnd::nn {
 namespace {
 
+using testutil::SimdGuard;
 using testutil::ThreadsGuard;
 
 void fill_random(Tensor& t, sys::Rng& rng) {
@@ -217,6 +221,166 @@ TEST(Gemm, PackBInt8MatchesFloatPackBitwise) {
     gemm::pack_b_int8(q.data(), N, K, scale, repacked.data());
     ASSERT_EQ(0, std::memcmp(repacked.data(), from_codes.data(), panel_size * sizeof(float)))
         << "point update diverged, trial " << trial;
+  }
+}
+
+TEST(Gemm, SimdMatchesForcedScalarByteExactOverRandomShapes) {
+  // The tentpole invariant: the explicit SIMD register tiles (AVX2/NEON,
+  // lane-per-output-column, non-contracted mul+add) must be byte-identical
+  // to the forced-scalar microkernels over randomized ragged shapes. On a
+  // host without a vector ISA both legs resolve to scalar and the sweep
+  // degenerates to a tautology -- which is exactly the CI forced-scalar
+  // leg's behavior, so that is fine.
+  SimdGuard guard;
+  sys::Rng rng(108);
+  for (int trial = 0; trial < 40; ++trial) {
+    const usize M = 1 + rng.uniform(40), N = 1 + rng.uniform(40), K = 1 + rng.uniform(200);
+    Tensor a({M, K}), b({N, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(bias, rng);
+    const gemm::Bias kind = trial % 4 == 0 ? gemm::Bias::kNone : gemm::Bias::kPerCol;
+
+    simd::set_scalar_override(1);
+    ASSERT_EQ(simd::active_isa(), simd::Isa::kScalar);
+    Workspace ws_scalar;
+    Tensor scalar({M, N});
+    gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, scalar.data(), N, bias.data(), kind,
+                  ws_scalar);
+
+    simd::set_scalar_override(0);
+    ASSERT_EQ(simd::active_isa(), simd::best_isa());
+    Workspace ws_simd;
+    Tensor vectored({M, N});
+    vectored.fill(-999.0f);  // stale sentinel: every element must be written
+    gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, vectored.data(), N, bias.data(), kind,
+                  ws_simd);
+
+    expect_bitwise_equal(vectored, scalar,
+                         std::string("simd (") + simd::isa_name(simd::best_isa()) +
+                             ") trial " + std::to_string(trial) + " M=" + std::to_string(M) +
+                             " N=" + std::to_string(N) + " K=" + std::to_string(K));
+  }
+}
+
+TEST(Gemm, SimdThreadsMatrixMatchesScalarSerial) {
+  // The CI matrix in miniature: {scalar, simd} x {1, 4} teams all produce
+  // the same bytes as scalar serial, through a whole layer forward.
+  SimdGuard simd_guard;
+  ThreadsGuard threads_guard;
+  sys::Rng rng(109);
+  Dense dense(300, 41, rng);
+  fill_random(dense.bias, rng);
+  Tensor x({12, 300});
+  fill_random(x, rng);
+
+  simd::set_scalar_override(1);
+  gemm::set_threads(1);
+  const Tensor golden = dense.forward(x, false);
+
+  for (const int scalar : {1, 0}) {
+    for (const usize teams : {usize{1}, usize{4}}) {
+      simd::set_scalar_override(scalar);
+      gemm::set_threads(teams);
+      const Tensor y = dense.forward(x, false);
+      expect_bitwise_equal(y, golden,
+                           "scalar_override=" + std::to_string(scalar) +
+                               " teams=" + std::to_string(teams));
+    }
+  }
+}
+
+TEST(Gemm, FmaFastPathIsCloseButExcludedFromByteContract) {
+  // DNND_FMA=1 is allowed to diverge in rounding (fused single-rounding
+  // terms); it must stay numerically close, and switching it back off must
+  // return to byte-identity with scalar. On hosts without a fused ISA the
+  // fma path IS the default path and the divergence is exactly zero.
+  SimdGuard guard;
+  sys::Rng rng(110);
+  const usize M = 24, N = 19, K = 150;
+  Tensor a({M, K}), b({N, K}), bias({N});
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(bias, rng);
+
+  simd::set_scalar_override(1);
+  simd::set_fma_override(0);
+  Workspace ws1;
+  Tensor scalar({M, N});
+  gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, scalar.data(), N, bias.data(),
+                gemm::Bias::kPerCol, ws1);
+
+  simd::set_scalar_override(0);
+  simd::set_fma_override(1);
+  Workspace ws2;
+  Tensor fused({M, N});
+  gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, fused.data(), N, bias.data(),
+                gemm::Bias::kPerCol, ws2);
+  for (usize i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], scalar[i], 1e-4 * (1.0 + std::abs(scalar[i])))
+        << "fma drifted beyond rounding at " << i;
+  }
+
+  simd::set_fma_override(0);
+  Workspace ws3;
+  Tensor back({M, N});
+  gemm::gemm_nt(M, N, K, a.data(), K, b.data(), K, back.data(), N, bias.data(),
+                gemm::Bias::kPerCol, ws3);
+  expect_bitwise_equal(back, scalar, "fma off must restore byte-identity");
+}
+
+TEST(Gemm, ThreadedIm2colGatherMatchesSerialByteExact) {
+  // Single-sample convolution big enough to clear the parallel-work
+  // threshold: the batch cannot be split, so the patch gather itself runs on
+  // the pool (disjoint patch ranges into one shared col buffer). Output must
+  // be byte-identical to serial and to the naive reference.
+  ThreadsGuard guard;
+  sys::Rng rng(111);
+  Conv2d conv(8, 9, 3, 1, 1, rng);
+  fill_random(conv.bias, rng);
+  Tensor x({1, 8, 64, 64});  // P = 4096 patches, K = 72: P*K well past the threshold
+  fill_random(x, rng);
+
+  gemm::set_threads(1);
+  const Tensor serial = conv.forward(x, false);
+  Tensor ref(serial.shape());
+  reference::conv2d_forward(x, conv.weight, conv.bias, 1, 1, ref);
+  expect_bitwise_equal(serial, ref, "serial conv vs naive");
+
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  for (const usize teams : {usize{2}, usize{4}, hw}) {
+    gemm::set_threads(teams);
+    const Tensor threaded = conv.forward(x, false);
+    expect_bitwise_equal(threaded, serial, "gather teams=" + std::to_string(teams));
+  }
+}
+
+TEST(Gemm, AutoThreadsFollowsEnvChangesMidProcess) {
+  // Regression for the once-only static cache: with set_threads(0), a
+  // mid-process DNND_THREADS change must be visible immediately, so the
+  // campaign's budget-split restore and tests agree about the team size.
+  ThreadsGuard guard;
+  const char* orig = std::getenv("DNND_THREADS");
+  const std::string saved = orig != nullptr ? orig : "";
+
+  ASSERT_EQ(setenv("DNND_THREADS", "3", 1), 0);
+  gemm::set_threads(0);
+  EXPECT_EQ(gemm::threads(), 3u);
+  ASSERT_EQ(setenv("DNND_THREADS", "5", 1), 0);
+  EXPECT_EQ(gemm::threads(), 5u);
+  ASSERT_EQ(unsetenv("DNND_THREADS"), 0);
+  EXPECT_EQ(gemm::threads(),
+            static_cast<usize>(std::max(1u, std::thread::hardware_concurrency())));
+  // Garbage falls back to auto (with a stderr warning), never to a stale or
+  // partial parse.
+  ASSERT_EQ(setenv("DNND_THREADS", "4x", 1), 0);
+  EXPECT_EQ(gemm::threads(),
+            static_cast<usize>(std::max(1u, std::thread::hardware_concurrency())));
+
+  if (orig != nullptr) {
+    ASSERT_EQ(setenv("DNND_THREADS", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("DNND_THREADS"), 0);
   }
 }
 

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "sys/energy_model.hpp"
+#include "sys/env.hpp"
 #include "sys/rng.hpp"
 #include "sys/table.hpp"
 #include "sys/types.hpp"
@@ -126,6 +130,54 @@ TEST(Rng, SplitStreamsAreIndependent) {
   int same = 0;
   for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
   EXPECT_LT(same, 2);
+}
+
+TEST(Env, ParseUsizeAcceptsCanonicalNonNegativeIntegers) {
+  EXPECT_EQ(parse_usize("0"), 0u);
+  EXPECT_EQ(parse_usize("8"), 8u);
+  EXPECT_EQ(parse_usize("1234567"), 1234567u);
+  EXPECT_EQ(parse_usize(" 12 "), 12u);   // surrounding whitespace tolerated
+  EXPECT_EQ(parse_usize("\t4\n"), 4u);
+  const usize max = std::numeric_limits<usize>::max();
+  EXPECT_EQ(parse_usize(std::to_string(max)), max);  // exact boundary accepted
+}
+
+TEST(Env, ParseUsizeRejectsGarbageNegativeAndOverflow) {
+  EXPECT_FALSE(parse_usize("").has_value());
+  EXPECT_FALSE(parse_usize("   ").has_value());
+  EXPECT_FALSE(parse_usize("-3").has_value());    // negative
+  EXPECT_FALSE(parse_usize("+5").has_value());    // sign prefix is not canonical
+  EXPECT_FALSE(parse_usize("4x").has_value());    // trailing garbage
+  EXPECT_FALSE(parse_usize("x4").has_value());
+  EXPECT_FALSE(parse_usize("0x10").has_value());  // no hex
+  EXPECT_FALSE(parse_usize("3.5").has_value());
+  EXPECT_FALSE(parse_usize("1 2").has_value());   // interior whitespace
+  // One past the usize boundary, and an absurdly long digit string.
+  EXPECT_FALSE(parse_usize("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_usize("99999999999999999999999999").has_value());
+}
+
+TEST(Env, EnvUsizeMatrixUnsetGarbageNegativeOverflow) {
+  const char* kVar = "DNND_TEST_ENV_USIZE";
+  ASSERT_EQ(unsetenv(kVar), 0);
+  EXPECT_EQ(env_usize(kVar, 7), 7u);  // unset -> fallback
+
+  ASSERT_EQ(setenv(kVar, "", 1), 0);
+  EXPECT_EQ(env_usize(kVar, 7), 7u);  // empty -> fallback
+
+  ASSERT_EQ(setenv(kVar, "12", 1), 0);
+  EXPECT_EQ(env_usize(kVar, 7), 12u);  // well-formed -> value
+
+  ASSERT_EQ(setenv(kVar, "0", 1), 0);
+  EXPECT_EQ(env_usize(kVar, 7), 0u);  // explicit zero is a value, not garbage
+
+  // Garbage / negative / overflow all warn (once) and fall back -- never a
+  // silent partial parse like strtol's "4" from "4x" or 0 from "garbage".
+  for (const char* bad : {"garbage", "-4", "4x", "18446744073709551616"}) {
+    ASSERT_EQ(setenv(kVar, bad, 1), 0);
+    EXPECT_EQ(env_usize(kVar, 7), 7u) << "value: " << bad;
+  }
+  ASSERT_EQ(unsetenv(kVar), 0);
 }
 
 TEST(Hash, StableHashIsStable) {

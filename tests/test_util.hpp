@@ -7,6 +7,7 @@
 
 #include "models/model_zoo.hpp"
 #include "nn/gemm.hpp"
+#include "nn/simd.hpp"
 #include "nn/trainer.hpp"
 #include "quant/quantizer.hpp"
 
@@ -17,6 +18,17 @@ namespace dnnd::testutil {
 struct ThreadsGuard {
   usize saved = nn::gemm::threads_setting();
   ~ThreadsGuard() { nn::gemm::set_threads(saved); }
+};
+
+/// Restores the process-global SIMD knob overrides (force-scalar, FMA) on
+/// scope exit, so kernel-selection sweeps cannot leak into later tests.
+struct SimdGuard {
+  int saved_scalar = nn::simd::scalar_override();
+  int saved_fma = nn::simd::fma_override();
+  ~SimdGuard() {
+    nn::simd::set_scalar_override(saved_scalar);
+    nn::simd::set_fma_override(saved_fma);
+  }
 };
 
 /// A small, easy dataset for attack tests: 4 classes, 1x8x8, low noise.

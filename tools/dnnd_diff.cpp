@@ -9,6 +9,8 @@
 // Usage:
 //   dnnd_diff [--acc-tol FRAC] [--flip-tol N] [--ignore-missing] [--quiet]
 //             <baseline.json> <current.json>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +33,31 @@ int usage(const char* argv0) {
                "drift (flips, attempts, landed, ...). Exits 1 on regression.\n",
                argv0);
   return 2;
+}
+
+/// strtod/strtoll-free option parsing: a garbage tolerance must be a usage
+/// error, not a silent 0 that turns the gate maximally strict (or, with a
+/// partial parse like "1e", arbitrarily loose).
+bool parse_double_arg(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  // isfinite: "nan" compares false to everything, which would silently
+  // disable the accuracy gate; "inf" would make it infinitely loose.
+  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(v) || v < 0.0) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_i64_arg(const char* text, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
 }
 
 std::string read_file(const std::string& path) {
@@ -57,12 +84,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--acc-tol") {
       const char* v = next_value();
-      if (v == nullptr) return usage(argv[0]);
-      cfg.acc_tol = std::strtod(v, nullptr);
+      if (v == nullptr || !parse_double_arg(v, &cfg.acc_tol)) {
+        std::fprintf(stderr, "--acc-tol: expected a non-negative number, got \"%s\"\n",
+                     v == nullptr ? "" : v);
+        return usage(argv[0]);
+      }
     } else if (arg == "--flip-tol") {
       const char* v = next_value();
-      if (v == nullptr) return usage(argv[0]);
-      cfg.flip_tol = std::strtoll(v, nullptr, 10);
+      long long tol = 0;
+      if (v == nullptr || !parse_i64_arg(v, &tol)) {
+        std::fprintf(stderr, "--flip-tol: expected a non-negative integer, got \"%s\"\n",
+                     v == nullptr ? "" : v);
+        return usage(argv[0]);
+      }
+      cfg.flip_tol = tol;
     } else if (arg == "--ignore-missing") {
       cfg.ignore_missing = true;
     } else if (arg == "--quiet" || arg == "-q") {
