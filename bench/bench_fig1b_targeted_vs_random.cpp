@@ -61,6 +61,8 @@ int main() {
       "the random level (flat curve).\n");
   std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
               campaign.threads_used, campaign.total_seconds);
-  harness::write_campaign_from_env(campaign);
-  return 0;
+  // A configured sink that failed to persist (e.g. unwritable DNND_JSON_OUT)
+  // must fail the bench: CI gates on the artifact existing.
+  return harness::write_campaign_from_env(campaign) == harness::SinkWriteStatus::kFailed ? 1
+                                                                                         : 0;
 }

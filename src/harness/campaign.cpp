@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -120,7 +121,11 @@ void run_scenario_impl(const Scenario& sc, ArtifactCache& cache, ScenarioResult&
           if (r.trace.back() <= stop_acc) break;
         }
         r.post_accuracy = r.trace.back();
-        r.flips = std::to_string(r.trace.size() - 1);
+        // Same ">N" not-reached marker as the non-trace branch: a budget- or
+        // candidate-exhausted attack that never hit stop accuracy must not
+        // report a bare count -- dnnd_diff treats the two spellings as
+        // different outcomes.
+        r.flips = flips_or_more(r.trace.size() - 1, r.trace.back() <= stop_acc);
       } else {
         attack::BfaConfig bcfg = {};
         bcfg.max_flips = sc.max_flips;
@@ -226,8 +231,10 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
   // over per worker goes to each scenario's GEMM team -- so a single big
   // scenario still uses the whole budget through the inference engine.
   // Results are byte-identical for every split (both levels are
-  // bit-transparent by construction); restored after the run.
-  const usize prev_gemm_threads = nn::gemm::threads_setting();
+  // bit-transparent by construction); the guard restores the caller's
+  // setting on every exit path, including exceptions (e.g. std::thread
+  // construction failing below).
+  const nn::gemm::ThreadsGuard gemm_guard;
   const usize gemm_team = std::max<usize>(1, budget / threads);
   nn::gemm::set_threads(gemm_team);
   if (gemm_team > 1) {
@@ -238,6 +245,10 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
 
   const double t0 = now_seconds();
   std::atomic<usize> next{0};
+  // First on_result failure, if any: captured here (never thrown across a
+  // worker thread) and rethrown after the join so the sweep fails loudly.
+  std::mutex hook_mu;
+  std::string hook_error;
   auto worker = [&] {
     while (true) {
       const usize i = next.fetch_add(1);
@@ -248,6 +259,16 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
       if (cfg_.verbose) {
         std::fprintf(stderr, "[campaign] %-32s %s (%.1fs)\n", res.id.c_str(),
                      res.ok ? "ok" : res.error.c_str(), res.wall_seconds);
+      }
+      if (cfg_.on_result) {
+        try {
+          cfg_.on_result(res);
+        } catch (const std::exception& e) {
+          const std::lock_guard<std::mutex> lock(hook_mu);
+          if (hook_error.empty()) {
+            hook_error = "on_result hook failed for " + res.id + ": " + e.what();
+          }
+        }
       }
       out.results[i] = std::move(res);
     }
@@ -261,8 +282,8 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
     for (usize t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
-  nn::gemm::set_threads(prev_gemm_threads);
   out.total_seconds = now_seconds() - t0;
+  if (!hook_error.empty()) throw std::runtime_error(hook_error);
   return out;
 }
 
@@ -277,6 +298,32 @@ sys::Table CampaignResult::table() const {
   return t;
 }
 
+void scenario_result_to_json(sys::JsonWriter& w, const ScenarioResult& r,
+                             bool include_timing) {
+  w.begin_object();
+  w.key("id").value(r.id);
+  w.key("label").value(r.label);
+  w.key("model").value(r.model);
+  w.key("defense").value(r.defense);
+  w.key("attack").value(r.attack);
+  w.key("ok").value(r.ok);
+  if (!r.ok) w.key("error").value(r.error);
+  w.key("clean_accuracy").value(r.clean_accuracy);
+  w.key("post_accuracy").value(r.post_accuracy);
+  w.key("flips").value(r.flips);
+  w.key("attempts").value(r.attempts);
+  w.key("landed").value(r.landed);
+  w.key("blocked").value(r.blocked);
+  w.key("secured_bits").value(r.secured_bits);
+  w.key("secured_rows").value(r.secured_rows);
+  w.key("total_bits").value(r.total_bits);
+  w.key("trace").begin_array();
+  for (const double v : r.trace) w.value(v);
+  w.end_array();
+  if (include_timing) w.key("wall_seconds").value(r.wall_seconds);
+  w.end_object();
+}
+
 std::string CampaignResult::to_json(bool include_timing) const {
   sys::JsonWriter w;
   w.begin_object();
@@ -285,30 +332,7 @@ std::string CampaignResult::to_json(bool include_timing) const {
     w.key("total_seconds").value(total_seconds);
   }
   w.key("scenarios").begin_array();
-  for (const auto& r : results) {
-    w.begin_object();
-    w.key("id").value(r.id);
-    w.key("label").value(r.label);
-    w.key("model").value(r.model);
-    w.key("defense").value(r.defense);
-    w.key("attack").value(r.attack);
-    w.key("ok").value(r.ok);
-    if (!r.ok) w.key("error").value(r.error);
-    w.key("clean_accuracy").value(r.clean_accuracy);
-    w.key("post_accuracy").value(r.post_accuracy);
-    w.key("flips").value(r.flips);
-    w.key("attempts").value(r.attempts);
-    w.key("landed").value(r.landed);
-    w.key("blocked").value(r.blocked);
-    w.key("secured_bits").value(r.secured_bits);
-    w.key("secured_rows").value(r.secured_rows);
-    w.key("total_bits").value(r.total_bits);
-    w.key("trace").begin_array();
-    for (const double v : r.trace) w.value(v);
-    w.end_array();
-    if (include_timing) w.key("wall_seconds").value(r.wall_seconds);
-    w.end_object();
-  }
+  for (const auto& r : results) scenario_result_to_json(w, r, include_timing);
   w.end_array();
   w.end_object();
   return w.str();
@@ -339,6 +363,33 @@ const sys::JsonValue& require_field(const sys::JsonValue& obj, std::string_view 
 
 }  // namespace
 
+ScenarioResult scenario_result_from_json(const sys::JsonValue& s, bool expect_timing,
+                                         const std::string& where) {
+  ScenarioResult r;
+  r.id = require_field(s, "id", where).as_string();
+  r.label = require_field(s, "label", where).as_string();
+  r.model = require_field(s, "model", where).as_string();
+  r.defense = require_field(s, "defense", where).as_string();
+  r.attack = require_field(s, "attack", where).as_string();
+  r.ok = require_field(s, "ok", where).as_bool();
+  // to_json writes "error" exactly when the scenario failed.
+  if (!r.ok) r.error = require_field(s, "error", where).as_string();
+  r.clean_accuracy = require_field(s, "clean_accuracy", where).as_double();
+  r.post_accuracy = require_field(s, "post_accuracy", where).as_double();
+  r.flips = require_field(s, "flips", where).as_string();
+  r.attempts = static_cast<usize>(require_field(s, "attempts", where).as_u64());
+  r.landed = static_cast<usize>(require_field(s, "landed", where).as_u64());
+  r.blocked = static_cast<usize>(require_field(s, "blocked", where).as_u64());
+  r.secured_bits = static_cast<usize>(require_field(s, "secured_bits", where).as_u64());
+  r.secured_rows = static_cast<usize>(require_field(s, "secured_rows", where).as_u64());
+  r.total_bits = require_field(s, "total_bits", where).as_u64();
+  for (const sys::JsonValue& v : require_field(s, "trace", where).items()) {
+    r.trace.push_back(v.as_double());
+  }
+  if (expect_timing) r.wall_seconds = require_field(s, "wall_seconds", where).as_double();
+  return r;
+}
+
 CampaignResult campaign_from_json(std::string_view json) {
   const sys::JsonValue doc = sys::parse_json(json);
 
@@ -353,32 +404,10 @@ CampaignResult campaign_from_json(std::string_view json) {
   }
 
   for (const sys::JsonValue& s : require_field(doc, "scenarios", "document").items()) {
-    ScenarioResult r;
     const std::string where =
         "scenario " + (s.is_object() && s.contains("id") ? s.at("id").as_string()
                                                          : std::to_string(out.results.size()));
-    r.id = require_field(s, "id", where).as_string();
-    r.label = require_field(s, "label", where).as_string();
-    r.model = require_field(s, "model", where).as_string();
-    r.defense = require_field(s, "defense", where).as_string();
-    r.attack = require_field(s, "attack", where).as_string();
-    r.ok = require_field(s, "ok", where).as_bool();
-    // to_json writes "error" exactly when the scenario failed.
-    if (!r.ok) r.error = require_field(s, "error", where).as_string();
-    r.clean_accuracy = require_field(s, "clean_accuracy", where).as_double();
-    r.post_accuracy = require_field(s, "post_accuracy", where).as_double();
-    r.flips = require_field(s, "flips", where).as_string();
-    r.attempts = static_cast<usize>(require_field(s, "attempts", where).as_u64());
-    r.landed = static_cast<usize>(require_field(s, "landed", where).as_u64());
-    r.blocked = static_cast<usize>(require_field(s, "blocked", where).as_u64());
-    r.secured_bits = static_cast<usize>(require_field(s, "secured_bits", where).as_u64());
-    r.secured_rows = static_cast<usize>(require_field(s, "secured_rows", where).as_u64());
-    r.total_bits = require_field(s, "total_bits", where).as_u64();
-    for (const sys::JsonValue& v : require_field(s, "trace", where).items()) {
-      r.trace.push_back(v.as_double());
-    }
-    if (timed) r.wall_seconds = require_field(s, "wall_seconds", where).as_double();
-    out.results.push_back(std::move(r));
+    out.results.push_back(scenario_result_from_json(s, timed, where));
   }
   return out;
 }

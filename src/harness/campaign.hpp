@@ -9,20 +9,31 @@
 // to_json() unless explicitly requested.
 #pragma once
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
 #include "harness/artifact_cache.hpp"
 #include "harness/scenario.hpp"
+#include "sys/json.hpp"
 #include "sys/table.hpp"
 
 namespace dnnd::harness {
+
+struct ScenarioResult;
 
 struct CampaignConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   usize threads = 0;
   /// Print one line per finished scenario to stderr.
   bool verbose = false;
+  /// Invoked once per finished scenario, from the worker thread that ran it
+  /// (concurrent invocations for distinct scenarios; never twice for the
+  /// same one). The shard protocol checkpoints each cell here. A throwing
+  /// hook does not stop the sweep, but CampaignRunner::run rethrows the
+  /// first hook failure after all workers join -- a checkpoint that cannot
+  /// be persisted must fail the run loudly, not complete it silently.
+  std::function<void(const ScenarioResult&)> on_result = {};
 };
 
 /// Structured outcome of one scenario.
@@ -93,6 +104,21 @@ class CampaignRunner {
 /// malformed value warns and falls back instead of silently diverging from
 /// the engine's reading of the identical variable.
 usize env_threads();
+
+/// Serializes one ScenarioResult as the scenario object CampaignResult::
+/// to_json() emits -- the single source of the scenario-object shape, shared
+/// by whole-campaign documents and the shard protocol's per-cell checkpoint
+/// files, so a merged sharded run reassembles to the exact single-process
+/// bytes.
+void scenario_result_to_json(sys::JsonWriter& w, const ScenarioResult& r,
+                             bool include_timing = false);
+
+/// Parses one scenario object (the inverse of scenario_result_to_json) with
+/// campaign_from_json's strictness: every field is required, `error` exactly
+/// when ok is false, `wall_seconds` exactly when `expect_timing`. `where`
+/// names the source in error messages. Throws sys::JsonParseError.
+ScenarioResult scenario_result_from_json(const sys::JsonValue& s, bool expect_timing,
+                                         const std::string& where);
 
 /// Parses a campaign document produced by CampaignResult::to_json() (with or
 /// without timing fields) back into a CampaignResult, so persisted runs can

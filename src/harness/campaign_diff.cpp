@@ -93,8 +93,13 @@ DiffReport diff_campaigns(const CampaignResult& baseline, const CampaignResult& 
     if (b.flips != c.flips) {
       const bool numeric = bf >= 0 && cf >= 0;
       d.flip_delta = numeric ? cf - bf : 0;
+      // At zero flip tolerance the spelling itself is gated: ">8" (budget
+      // exhausted before stop accuracy) and "8" (stop reached) are different
+      // outcomes even though their leading counts match. A nonzero tolerance
+      // compares counts only, so marker transitions can ride along with the
+      // count drift they imply.
       note("flips \"" + b.flips + "\" -> \"" + c.flips + "\"",
-           numeric ? std::llabs(cf - bf) > cfg.flip_tol : true);
+           !numeric || cfg.flip_tol == 0 || std::llabs(cf - bf) > cfg.flip_tol);
     }
     check_count("attempts", static_cast<i64>(b.attempts), static_cast<i64>(c.attempts));
     check_count("landed", static_cast<i64>(b.landed), static_cast<i64>(c.landed));

@@ -16,7 +16,10 @@ struct DiffConfig {
   /// (fractional, i.e. 0.01 == one accuracy percentage point).
   double acc_tol = 0.0;
   /// Tolerance on integer counters: parsed flip counts, attempts, landed,
-  /// blocked, secured_bits/rows.
+  /// blocked, secured_bits/rows. At 0 the flips *string* must match exactly
+  /// (">8" vs "8" is a different outcome -- stop accuracy never reached vs
+  /// reached -- even though the counts agree); a nonzero tolerance compares
+  /// leading counts only.
   i64 flip_tol = 0;
   /// When true, scenarios present on only one side are reported but do not
   /// count as regressions (for diffing runs of different grids).

@@ -1,6 +1,8 @@
 #include "harness/registry.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "models/model_zoo.hpp"
@@ -400,6 +402,60 @@ std::vector<Scenario> enumerate_grid(const GridSpec& spec) {
     }
   }
   return grid;
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Overrides `axis` with the env var's comma-separated list when set.
+void override_axis(const char* env, std::vector<std::string>& axis) {
+  if (const char* v = std::getenv(env); v != nullptr && v[0] != '\0') {
+    axis = split_csv(v);
+  }
+}
+
+}  // namespace
+
+GridSpec grid_spec_from_env(bool small) {
+  GridSpec spec;
+  spec.small = small;
+  spec.generations = {dram::DeviceGen::kLpddr4New, dram::DeviceGen::kDdr4New};
+  spec.attacks.assign(std::begin(kAllAttackKinds), std::end(kAllAttackKinds));
+  spec.preps = {"none", "binary-finetune", "piecewise-clustering", "reconstruction-guard"};
+
+  override_axis("DNND_GRID_MODELS", spec.models);
+  override_axis("DNND_GRID_PREPS", spec.preps);
+  override_axis("DNND_GRID_DEFENSES", spec.defenses);
+  if (const char* v = std::getenv("DNND_GRID_GENS"); v != nullptr && v[0] != '\0') {
+    spec.generations.clear();
+    for (const auto& slug : split_csv(v)) {
+      spec.generations.push_back(device_gen_from_slug(slug));
+    }
+  }
+  if (const char* v = std::getenv("DNND_GRID_ATTACKS"); v != nullptr && v[0] != '\0') {
+    spec.attacks.clear();
+    for (const auto& slug : split_csv(v)) {
+      spec.attacks.push_back(attack_kind_from_string(slug));
+    }
+  }
+  if (const char* v = std::getenv("DNND_GRID_FULL_PRODUCT"); v != nullptr && v[0] == '1') {
+    spec.prune_incoherent = false;
+  }
+  return spec;
+}
+
+std::vector<Scenario> grid_from_env(bool tiny, bool small) {
+  if (tiny) return tiny_test_grid();
+  return enumerate_grid(grid_spec_from_env(small));
 }
 
 }  // namespace dnnd::harness

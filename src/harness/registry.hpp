@@ -81,4 +81,18 @@ bool grid_cell_coherent(AttackKind attack, const std::string& prep,
 /// Throws std::invalid_argument for unknown axis values.
 std::vector<Scenario> enumerate_grid(const GridSpec& spec);
 
+/// The paper-shaped default GridSpec with every axis overridable through the
+/// DNND_GRID_* env vars (comma-separated lists; see bench_grid/README).
+/// Shared by bench_grid and dnnd_shard so every shard of one sweep -- and
+/// the merge coordinator -- enumerates the identical scenario list from the
+/// identical environment. Throws std::invalid_argument for unknown axis
+/// values.
+GridSpec grid_spec_from_env(bool small);
+
+/// The scenario list a sharded run operates on: tiny_test_grid() when `tiny`
+/// (the CI baseline grid), else enumerate_grid(grid_spec_from_env(small)).
+/// Every dnnd_shard invocation and sharded bench_grid run against one run
+/// directory must resolve this identically or cells/merge won't line up.
+std::vector<Scenario> grid_from_env(bool tiny, bool small);
+
 }  // namespace dnnd::harness

@@ -1,0 +1,113 @@
+// Sharded, resumable campaign runs: the run-directory work-queue protocol.
+//
+// A grid sweep becomes a set of independent *cells* (scenarios with stable
+// ids). ShardSpec deterministically partitions the scenario list into
+// k-of-n interleaved shards so n processes can sweep one grid concurrently.
+// Each worker checkpoints every finished ScenarioResult as one JSON file
+// under <run_dir>/cells/ -- written atomically (temp file + rename), so a
+// concurrent writer or a mid-write kill can never leave a torn cell on disk.
+// A resume diffs the checkpointed cell ids against the grid and re-runs only
+// the remainder; the coordinator (merge_cells / `dnnd_shard merge`) stitches
+// the checkpoints back into one campaign document in input-scenario order.
+//
+// Byte-identity contract: the merged document is byte-identical to the
+// single-process CampaignResult::to_json() of the same grid. Cell files
+// carry the exact scenario-object serialization of to_json, and the merge
+// reassembles their parsed lexemes (sys::JsonValue preserves numeric
+// lexemes), so no float ever goes through a second format/parse cycle. The
+// existing zero-tolerance dnnd_diff baseline gate therefore holds for merged
+// sharded runs exactly as it does for single-process sweeps.
+//
+// The protocol is deliberately transport-shaped: a cell id in, a small JSON
+// document out, claim-by-rename. A TCP coordinator can later replace the
+// shared directory without changing the cell format.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hpp"
+#include "harness/scenario.hpp"
+
+namespace dnnd::harness {
+
+/// One shard of an n-way partition: the cells whose position in the scenario
+/// list is congruent to `index` mod `count`. Interleaved (round-robin)
+/// assignment keeps per-shard work balanced when neighboring grid cells have
+/// similar cost (they share model/axes prefixes).
+struct ShardSpec {
+  usize index = 0;  ///< 0-based shard number, < count
+  usize count = 1;  ///< total shards (n)
+};
+
+/// Parses the CLI spelling "k/n" (1-based k, e.g. "2/4"). Throws
+/// std::invalid_argument on malformed input, k < 1, n < 1, or k > n.
+ShardSpec parse_shard_spec(const std::string& spec);
+
+/// The subset of `scenarios` owned by `shard`, in input order.
+std::vector<Scenario> shard_scenarios(const std::vector<Scenario>& scenarios,
+                                      const ShardSpec& shard);
+
+/// Per-cell checkpoint store under <run_dir>/cells/. Multiple processes may
+/// share one store: every write is temp-file + atomic rename, and distinct
+/// cell ids map to distinct file names (sanitized id + stable id hash, so
+/// ids that sanitize identically still get distinct files).
+class CellCheckpointStore {
+ public:
+  explicit CellCheckpointStore(std::string run_dir);
+
+  [[nodiscard]] const std::string& run_dir() const { return run_dir_; }
+
+  /// The checkpoint file backing `id` (inside cells/). Deterministic.
+  [[nodiscard]] std::string cell_path(const std::string& id) const;
+
+  /// Atomically persists one finished cell: writes the scenario-object JSON
+  /// (exact to_json serialization, newline-terminated) to a process-unique
+  /// temp file, then renames it over cell_path(). Safe under concurrent
+  /// writers of *different* cells (distinct paths) and of the *same* cell
+  /// (last rename wins, file always complete). Throws std::runtime_error on
+  /// I/O failure.
+  void write_cell(const ScenarioResult& r) const;
+
+  /// Loads a checkpointed cell. Returns nullopt when no checkpoint exists.
+  /// Throws sys::JsonParseError / std::runtime_error when a checkpoint file
+  /// exists but is malformed or carries the wrong id (a corrupted store must
+  /// fail loudly, not merge quietly).
+  [[nodiscard]] std::optional<ScenarioResult> load_cell(const std::string& id) const;
+
+  /// True when `id` has a *valid* checkpoint: present and loadable. A
+  /// malformed cell file reads as absent here (resume re-runs it) -- only
+  /// merge treats corruption as fatal.
+  [[nodiscard]] bool has_valid_cell(const std::string& id) const;
+
+ private:
+  std::string run_dir_;
+  std::string cells_dir_;
+};
+
+/// Resume diff: the scenarios in `scenarios` (input order) that have no
+/// valid checkpoint in `store`. A cell checkpointed with ok == false counts
+/// as done -- scenario failures are deterministic campaign results, exactly
+/// as in a single-process run.
+std::vector<Scenario> pending_scenarios(const CellCheckpointStore& store,
+                                        const std::vector<Scenario>& scenarios);
+
+/// Coordinator output: the merged campaign document plus its parsed form.
+struct MergedCampaign {
+  /// Byte-identical to CampaignResult::to_json() of a single-process run of
+  /// the same scenario list (no trailing newline; sinks add framing).
+  std::string json;
+  /// The merged document parsed back through the strict loader (table
+  /// printing, dnnd_diff-style checks).
+  CampaignResult campaign;
+};
+
+/// Merges the checkpoints of `scenarios` (all of them -- every shard) back
+/// into one campaign document in input-scenario order. Throws
+/// std::runtime_error naming every missing cell id when the run is
+/// incomplete, and propagates load errors for corrupt cells.
+MergedCampaign merge_cells(const CellCheckpointStore& store,
+                           const std::vector<Scenario>& scenarios);
+
+}  // namespace dnnd::harness

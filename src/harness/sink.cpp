@@ -1,7 +1,12 @@
 #include "harness/sink.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -28,6 +33,28 @@ void write_text_file(const std::string& path, const std::string& text) {
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
+/// Writes `text` through an already-claimed O_EXCL fd; closes it. On failure
+/// the claimed slot is released (unlinked) so another writer can take it.
+void write_claimed_fd(int fd, const std::string& path, const std::string& text) {
+  usize off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(path.c_str());
+      throw std::runtime_error("write failed: " + path + ": " + std::strerror(err));
+    }
+    off += static_cast<usize>(n);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(path.c_str());
+    throw std::runtime_error("close failed: " + path + ": " + std::strerror(err));
+  }
+}
+
 }  // namespace
 
 void StdoutSink::write(const CampaignResult& campaign) {
@@ -38,12 +65,16 @@ void FileSink::write(const CampaignResult& campaign) {
   write_text_file(path_, campaign.to_json() + "\n");
 }
 
+std::string RunDirectorySink::slot_path(usize i) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%04zu.json", stem_.c_str(), i);
+  return (fs::path(dir_) / name).string();
+}
+
 std::string RunDirectorySink::next_path() const {
   for (usize i = 1; i < 10000; ++i) {
-    char name[64];
-    std::snprintf(name, sizeof(name), "%s-%04zu.json", stem_.c_str(), i);
-    const fs::path candidate = fs::path(dir_) / name;
-    if (!fs::exists(candidate)) return candidate.string();
+    const std::string candidate = slot_path(i);
+    if (!fs::exists(candidate)) return candidate;
   }
   throw std::runtime_error("run directory full: " + dir_);
 }
@@ -52,7 +83,23 @@ void RunDirectorySink::write(const CampaignResult& campaign) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) throw std::runtime_error("cannot create directory " + dir_ + ": " + ec.message());
-  write_text_file(next_path(), campaign.to_json() + "\n");
+  const std::string text = campaign.to_json() + "\n";
+  // Claim the slot atomically with O_EXCL: an exists-then-open sequence
+  // races against concurrent writers (both see slot N free, the second
+  // truncates the first's run). With O_EXCL the loser of the race gets
+  // EEXIST and probes the next slot instead of clobbering.
+  for (usize i = 1; i < 10000; ++i) {
+    const std::string candidate = slot_path(i);
+    const int fd = ::open(candidate.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+      if (errno == EEXIST) continue;
+      throw std::runtime_error("cannot open " + candidate + " for writing: " +
+                               std::strerror(errno));
+    }
+    write_claimed_fd(fd, candidate, text);
+    return;
+  }
+  throw std::runtime_error("run directory full: " + dir_);
 }
 
 std::unique_ptr<CampaignSink> sink_from_env() {
@@ -60,6 +107,18 @@ std::unique_ptr<CampaignSink> sink_from_env() {
     const std::string path(out);
     if (path.back() == '/' || fs::is_directory(path)) {
       return std::make_unique<RunDirectorySink>(path);
+    }
+    // A plain-file destination must be unambiguous: an existing file, or a
+    // fresh *.json path. A not-yet-existing extensionless path is usually a
+    // run directory missing its trailing slash -- were it treated as a
+    // FileSink, every process sharing the variable would overwrite the same
+    // file. Refuse loudly instead of corrupting the run.
+    const bool json_named = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    if (!json_named && !fs::exists(path)) {
+      throw std::runtime_error(
+          "ambiguous DNND_JSON_OUT \"" + path +
+          "\": not an existing path, no trailing '/' (run directory), no .json suffix "
+          "(single file) -- append '/' for a run directory or '.json' for a file");
     }
     return std::make_unique<FileSink>(path);
   }
@@ -71,7 +130,15 @@ std::unique_ptr<CampaignSink> sink_from_env() {
 
 SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
                                         std::string* destination) {
-  const auto sink = sink_from_env();
+  std::unique_ptr<CampaignSink> sink;
+  try {
+    sink = sink_from_env();
+  } catch (const std::exception& e) {
+    // An unusable DNND_JSON_OUT is a failed persist, not a no-op: the caller
+    // asked for an artifact and must not exit 0 without one.
+    std::fprintf(stderr, "[sink] FAILED to persist campaign: %s\n", e.what());
+    return SinkWriteStatus::kFailed;
+  }
   if (!sink) return SinkWriteStatus::kNoSink;
   if (destination != nullptr) *destination = sink->describe();
   try {

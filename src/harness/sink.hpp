@@ -48,7 +48,9 @@ class FileSink final : public CampaignSink {
 
 /// Collects a directory of runs: each write() lands in the next free
 /// "<stem>-NNNN.json" slot, so successive campaigns accumulate side by side
-/// for cross-run diffing.
+/// for cross-run diffing. Slots are claimed atomically (O_CREAT|O_EXCL), so
+/// concurrent processes sharing one directory each get their own file --
+/// the loser of a slot race probes the next number instead of clobbering.
 class RunDirectorySink final : public CampaignSink {
  public:
   explicit RunDirectorySink(std::string dir, std::string stem = "campaign")
@@ -56,17 +58,27 @@ class RunDirectorySink final : public CampaignSink {
   void write(const CampaignResult& campaign) override;
   [[nodiscard]] std::string describe() const override { return dir_ + "/" + stem_ + "-*.json"; }
 
-  /// The path the next write() will use (exposed for tests/logging).
+  /// The path the next write() would use if no other writer intervenes
+  /// (advisory, for tests/logging; write() claims its slot atomically and
+  /// may land on a later number under contention).
   [[nodiscard]] std::string next_path() const;
 
  private:
+  [[nodiscard]] std::string slot_path(usize i) const;
+
   std::string dir_;
   std::string stem_;
 };
 
 /// Sink selected by the shared bench env protocol:
-///  - DNND_JSON_OUT=<path>  -> FileSink, or RunDirectorySink when <path> is
-///    an existing directory or ends with '/'.
+///  - DNND_JSON_OUT ending in '/' or naming an existing directory
+///    -> RunDirectorySink.
+///  - DNND_JSON_OUT naming an existing file or a fresh "*.json" path
+///    -> FileSink.
+///  - DNND_JSON_OUT naming a not-yet-existing path with neither a trailing
+///    '/' nor a ".json" suffix is AMBIGUOUS (usually a run directory missing
+///    its slash, which would silently become one overwritten file) and
+///    throws std::runtime_error.
 ///  - otherwise DNND_JSON=1 -> StdoutSink (legacy behavior).
 ///  - otherwise nullptr (no JSON output requested).
 std::unique_ptr<CampaignSink> sink_from_env();

@@ -86,6 +86,21 @@ void set_threads(usize n);
 /// The raw set_threads() value (0 = auto) so callers can save and restore it.
 [[nodiscard]] usize threads_setting();
 
+/// RAII save/restore of the process-global team-size setting (the
+/// set_threads analogue of the SIMD override guards): captures
+/// threads_setting() at construction and restores it on scope exit, so a
+/// temporary override cannot leak past an exception thrown in between.
+class [[nodiscard]] ThreadsGuard {
+ public:
+  ThreadsGuard() : saved_(threads_setting()) {}
+  ~ThreadsGuard() { set_threads(saved_); }
+  ThreadsGuard(const ThreadsGuard&) = delete;
+  ThreadsGuard& operator=(const ThreadsGuard&) = delete;
+
+ private:
+  usize saved_;
+};
+
 /// Team size a parallel entry point should use for `items` independent work
 /// units totalling `macs` multiply-accumulates: min(threads(), items), or 1
 /// when threading is off, the work is too small to amortise a region, or the

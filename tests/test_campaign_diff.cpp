@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "harness/campaign.hpp"
 #include "harness/campaign_diff.hpp"
@@ -113,6 +114,27 @@ TEST(CampaignDiff, FlipCountDeltaHonorsTolerance) {
   EXPECT_TRUE(tolerant.ok());
   ASSERT_EQ(tolerant.deltas.size(), 1u);
   EXPECT_EQ(tolerant.deltas[0].flip_delta, 3);
+}
+
+TEST(CampaignDiff, FlipsSpellingChangeIsARegressionAtZeroTolerance) {
+  // ">8" (stop accuracy never reached) and "8" (reached on the last flip) are
+  // different outcomes with the same leading count. The zero-tolerance gate
+  // must catch the spelling change -- the traced-BFA branch used to drop the
+  // ">" marker, which an equal-count comparison waved through.
+  const auto base = make_campaign();
+  auto cur = base;
+  cur.results[0].flips = "12";  // base says ">12"
+
+  const auto strict = diff_campaigns(base, cur);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.to_string().find("flips \">12\" -> \"12\""), std::string::npos);
+
+  // With a nonzero flip tolerance only the leading counts are compared, so
+  // the spelling difference is reported but allowed (delta 0 <= 1).
+  const auto tolerant = diff_campaigns(base, cur, DiffConfig{.flip_tol = 1});
+  EXPECT_TRUE(tolerant.ok());
+  ASSERT_EQ(tolerant.deltas.size(), 1u);
+  EXPECT_EQ(tolerant.deltas[0].flip_delta, 0);
 }
 
 TEST(CampaignDiff, OkFlagFlipAndTraceDivergenceAreRegressions) {
@@ -271,6 +293,37 @@ TEST(CampaignSink, RunDirectorySinkNumbersRuns) {
   EXPECT_EQ(slurp(tmp.path() / "campaign-0001.json"), slurp(tmp.path() / "campaign-0002.json"));
 }
 
+TEST(CampaignSink, ConcurrentWritersClaimDistinctSlots) {
+  // The old next_path() checked existence and then wrote: two writers could
+  // both see slot N free and clobber each other. write() now claims slots
+  // with O_CREAT|O_EXCL, so every write under contention lands in its own
+  // complete file.
+  TempDir tmp;
+  const auto campaign = make_campaign();
+  const std::string expected = campaign.to_json() + "\n";
+  constexpr usize kWritesPerThread = 50;
+
+  auto hammer = [&] {
+    RunDirectorySink sink(tmp.path().string());
+    for (usize i = 0; i < kWritesPerThread; ++i) sink.write(campaign);
+  };
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+
+  usize files = 0;
+  for (const auto& entry : fs::directory_iterator(tmp.path())) {
+    ++files;
+    EXPECT_EQ(slurp(entry.path()), expected) << entry.path() << " is torn or partial";
+  }
+  EXPECT_EQ(files, 2 * kWritesPerThread) << "every write must claim its own slot";
+  // Slots are contiguous: the race loser probes forward, never skips.
+  EXPECT_TRUE(fs::exists(tmp.path() / "campaign-0001.json"));
+  EXPECT_TRUE(fs::exists(tmp.path() / "campaign-0100.json"));
+  EXPECT_FALSE(fs::exists(tmp.path() / "campaign-0101.json"));
+}
+
 TEST(CampaignSink, EnvProtocolSelectsSink) {
   TempDir tmp;
   // DNND_JSON_OUT to a fresh file path -> FileSink.
@@ -287,6 +340,22 @@ TEST(CampaignSink, EnvProtocolSelectsSink) {
   ASSERT_NE(sink, nullptr);
   EXPECT_NE(sink->describe().find("campaign-*.json"), std::string::npos);
 
+  // An existing directory named WITHOUT the trailing slash still selects the
+  // RunDirectorySink (the directory on disk disambiguates).
+  fs::create_directories(tmp.path() / "existing-dir");
+  ASSERT_EQ(setenv("DNND_JSON_OUT", (tmp.path() / "existing-dir").c_str(), 1), 0);
+  sink = sink_from_env();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_NE(sink->describe().find("campaign-*.json"), std::string::npos);
+
+  // An existing plain file -> FileSink even without a .json suffix.
+  const std::string plain = (tmp.path() / "results.txt").string();
+  { std::ofstream(plain) << "old\n"; }
+  ASSERT_EQ(setenv("DNND_JSON_OUT", plain.c_str(), 1), 0);
+  sink = sink_from_env();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->describe(), plain);
+
   // Without DNND_JSON_OUT, DNND_JSON=1 selects stdout; nothing set -> null.
   ASSERT_EQ(unsetenv("DNND_JSON_OUT"), 0);
   ASSERT_EQ(setenv("DNND_JSON", "1", 1), 0);
@@ -295,6 +364,29 @@ TEST(CampaignSink, EnvProtocolSelectsSink) {
   EXPECT_EQ(sink->describe(), "stdout");
   ASSERT_EQ(unsetenv("DNND_JSON"), 0);
   EXPECT_EQ(sink_from_env(), nullptr);
+}
+
+TEST(CampaignSink, EnvProtocolRejectsAmbiguousPathLoudly) {
+  // A not-yet-existing path with neither a trailing '/' nor a .json suffix is
+  // usually a run directory missing its slash. Guessing "file" here silently
+  // collapsed every run of a sharded campaign into one clobbered file; the
+  // protocol now refuses and says how to disambiguate.
+  TempDir tmp;
+  const std::string ambiguous = (tmp.path() / "nightly-runs").string();
+  ASSERT_EQ(setenv("DNND_JSON_OUT", ambiguous.c_str(), 1), 0);
+  try {
+    sink_from_env();
+    FAIL() << "ambiguous DNND_JSON_OUT must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ambiguous"), std::string::npos) << what;
+    EXPECT_NE(what.find(ambiguous), std::string::npos) << what;
+  }
+  EXPECT_FALSE(fs::exists(ambiguous)) << "rejection must not create the path";
+
+  // Bench drivers route the same failure to a nonzero exit, not a throw.
+  EXPECT_EQ(write_campaign_from_env(make_campaign()), SinkWriteStatus::kFailed);
+  ASSERT_EQ(unsetenv("DNND_JSON_OUT"), 0);
 }
 
 }  // namespace

@@ -14,11 +14,9 @@
 namespace dnnd::testutil {
 
 /// Restores the process-global GEMM team setting on scope exit, so team-size
-/// sweeps cannot leak into later tests.
-struct ThreadsGuard {
-  usize saved = nn::gemm::threads_setting();
-  ~ThreadsGuard() { nn::gemm::set_threads(saved); }
-};
+/// sweeps cannot leak into later tests. Now the library-side RAII guard the
+/// campaign runner itself uses (nn/gemm.hpp).
+using ThreadsGuard = nn::gemm::ThreadsGuard;
 
 /// Restores the process-global SIMD knob overrides (force-scalar, FMA) on
 /// scope exit, so kernel-selection sweeps cannot leak into later tests.

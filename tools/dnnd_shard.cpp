@@ -1,0 +1,179 @@
+// dnnd_shard: sharded, resumable campaign runs over a shared run directory.
+//
+// The grid (tiny baseline grid with --tiny, else the DNND_GRID_* env axes --
+// identical to bench_grid's) is deterministically partitioned into k-of-n
+// interleaved shards. Each `run` worker sweeps its shard and atomically
+// checkpoints every finished cell as <dir>/cells/<id>.json; `--resume` diffs
+// the checkpoints against the shard and re-runs only the remainder, so a
+// killed worker loses at most the cells in flight. `merge` stitches all
+// cells back into one campaign document, byte-identical to a single-process
+// bench_grid sweep of the same grid -- gate it with dnnd_diff at zero
+// tolerance exactly like a direct run.
+//
+// Usage:
+//   dnnd_shard run    --dir DIR [--shard K/N] [--resume] [--tiny]
+//   dnnd_shard merge  --dir DIR [--tiny] [--out FILE]
+//   dnnd_shard status --dir DIR [--tiny]
+//
+// Exit codes: 0 = success, 1 = failed scenarios / incomplete run,
+//             2 = usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/campaign.hpp"
+#include "harness/registry.hpp"
+#include "harness/shard.hpp"
+
+using namespace dnnd;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s run    --dir DIR [--shard K/N] [--resume] [--tiny]\n"
+               "       %s merge  --dir DIR [--tiny] [--out FILE]\n"
+               "       %s status --dir DIR [--tiny]\n"
+               "\n"
+               "Sharded grid sweeps over a shared run directory. The grid is the tiny\n"
+               "CI baseline grid with --tiny, else the DNND_GRID_* env axes (same as\n"
+               "bench_grid; every invocation against one DIR must use the same grid).\n"
+               "  run     sweep shard K of N (default 1/1), checkpointing each cell\n"
+               "          atomically to DIR/cells/; --resume skips checkpointed cells\n"
+               "  merge   stitch all cells into one campaign JSON (byte-identical to\n"
+               "          the single-process sweep) on stdout or --out FILE\n"
+               "  status  report checkpointed vs pending cells\n"
+               "Worker threads come from DNND_THREADS; DNND_BENCH_SCALE=small shrinks\n"
+               "the non-tiny grid's budgets.\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool small_scale() {
+  const char* v = std::getenv("DNND_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "small";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+  if (mode != "run" && mode != "merge" && mode != "status") {
+    std::fprintf(stderr, "%s: unknown mode '%s'\n", argv[0], mode.c_str());
+    return usage(argv[0]);
+  }
+
+  std::string dir;
+  std::string shard_spec = "1/1";
+  std::string out_path;
+  bool resume = false;
+  bool tiny = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--dir") {
+      const char* v = next_value();
+      if (v == nullptr || v[0] == '\0') return usage(argv[0]);
+      dir = v;
+    } else if (arg == "--shard" && mode == "run") {
+      const char* v = next_value();
+      if (v == nullptr) return usage(argv[0]);
+      shard_spec = v;
+    } else if (arg == "--resume" && mode == "run") {
+      resume = true;
+    } else if (arg == "--out" && mode == "merge") {
+      const char* v = next_value();
+      if (v == nullptr || v[0] == '\0') return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--tiny") {
+      tiny = true;
+    } else {
+      std::fprintf(stderr, "%s %s: unknown argument '%s'\n", argv[0], mode.c_str(),
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "%s %s: --dir is required\n", argv[0], mode.c_str());
+    return usage(argv[0]);
+  }
+  if (const char* v = std::getenv("DNND_GRID"); v != nullptr && std::string(v) == "tiny") {
+    tiny = true;
+  }
+
+  try {
+    const auto grid = harness::grid_from_env(tiny, small_scale());
+    const harness::CellCheckpointStore store(dir);
+
+    if (mode == "status") {
+      const auto pending = harness::pending_scenarios(store, grid);
+      std::printf("[shard] %s: %zu/%zu cells checkpointed, %zu pending\n", dir.c_str(),
+                  grid.size() - pending.size(), grid.size(), pending.size());
+      for (const auto& sc : pending) std::printf("  pending %s\n", sc.id.c_str());
+      return 0;
+    }
+
+    if (mode == "merge") {
+      const auto merged = harness::merge_cells(store, grid);
+      if (out_path.empty()) {
+        std::printf("%s\n", merged.json.c_str());
+      } else {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open " + out_path + " for writing");
+        out << merged.json << "\n";
+        if (!out) throw std::runtime_error("write failed: " + out_path);
+        std::fprintf(stderr, "[shard] merged %zu cells -> %s\n",
+                     merged.campaign.results.size(), out_path.c_str());
+      }
+      usize failures = 0;
+      for (const auto& r : merged.campaign.results) {
+        if (!r.ok) {
+          std::fprintf(stderr, "[shard] FAILED %s: %s\n", r.id.c_str(), r.error.c_str());
+          ++failures;
+        }
+      }
+      return failures == 0 ? 0 : 1;
+    }
+
+    // mode == "run"
+    const auto shard = harness::parse_shard_spec(shard_spec);
+    auto cells = harness::shard_scenarios(grid, shard);
+    const usize owned = cells.size();
+    if (resume) cells = harness::pending_scenarios(store, cells);
+    std::fprintf(stderr, "[shard] %zu/%zu: %zu of %zu owned cells to run (%zu grid total)\n",
+                 shard.index + 1, shard.count, cells.size(), owned, grid.size());
+    if (cells.empty()) {
+      std::fprintf(stderr, "[shard] nothing to do\n");
+      return 0;
+    }
+
+    harness::CampaignConfig cfg;
+    cfg.threads = harness::env_threads();
+    cfg.verbose = true;
+    cfg.on_result = [&store](const harness::ScenarioResult& r) { store.write_cell(r); };
+    harness::CampaignRunner runner(cfg);
+    const auto campaign = runner.run(cells);
+
+    usize failures = 0;
+    for (const auto& r : campaign.results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "[shard] FAILED %s: %s\n", r.id.c_str(), r.error.c_str());
+        ++failures;
+      }
+    }
+    std::fprintf(stderr, "[shard] %zu cells checkpointed to %s in %.1fs\n",
+                 campaign.results.size(), store.run_dir().c_str(), campaign.total_seconds);
+    return failures == 0 ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "dnnd_shard: %s\n", e.what());
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dnnd_shard: %s\n", e.what());
+    // An incomplete merge is a state the caller can fix (run/resume the
+    // missing shards); everything else is operational.
+    return std::string(e.what()).find("incomplete run") != std::string::npos ? 1 : 2;
+  }
+}
