@@ -13,8 +13,8 @@ int main() {
                     "TTB SHADOW (days)", "DD advantage (days)"});
   for (u32 t_rh : {1000u, 2000u, 4000u, 8000u}) {
     const auto p = model.analyze(t_rh);
-    table.add_row({sys::fmt_count(t_rh), sys::fmt_count(static_cast<long long>(p.max_swaps_per_window)),
-                   sys::fmt_count(static_cast<long long>(p.max_bfa_defended)),
+    table.add_row({sys::fmt_count(t_rh), sys::fmt_count(p.max_swaps_per_window),
+                   sys::fmt_count(p.max_bfa_defended),
                    sys::fmt(p.ttb_days_dd, 0), sys::fmt(p.ttb_days_shadow, 0),
                    sys::fmt(p.ttb_days_dd - p.ttb_days_shadow, 0)});
   }

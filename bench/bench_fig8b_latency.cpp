@@ -12,7 +12,7 @@ int main() {
   const std::vector<u64> bfa_points{1'000, 3'500, 7'000, 14'000, 28'000, 55'000};
 
   std::vector<std::string> headers{"Series"};
-  for (u64 n : bfa_points) headers.push_back(sys::fmt_count(static_cast<long long>(n)));
+  for (u64 n : bfa_points) headers.push_back(sys::fmt_count(n));
   sys::Table table(headers);
   for (const std::string fw : {"shadow", "dd"}) {
     for (u32 t_rh : {8000u, 4000u, 2000u, 1000u}) {
@@ -30,7 +30,7 @@ int main() {
   for (u32 t_rh : {1000u, 2000u, 4000u, 8000u}) {
     const auto p = model.analyze(t_rh);
     std::printf("  T_RH=%uk: %s BFAs\n", t_rh / 1000,
-                sys::fmt_count(static_cast<long long>(p.max_bfa_defended)).c_str());
+                sys::fmt_count(p.max_bfa_defended).c_str());
   }
   std::printf(
       "\nShape check (paper): latency rises with the number of BFAs and then\n"

@@ -24,11 +24,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 
 #include "attack/bfa.hpp"
 #include "bench_util.hpp"
+#include "harness/sink.hpp"
 #include "nn/gemm.hpp"
 #include "nn/model.hpp"
 #include "nn/simd.hpp"
@@ -197,14 +197,17 @@ int main() {
   w.end_object();
 
   std::printf("%s\n", w.str().c_str());
-  if (const char* out = std::getenv("DNND_JSON_OUT"); out != nullptr && out[0] != '\0') {
-    std::ofstream f(out, std::ios::binary | std::ios::trunc);
-    if (!f) {
-      std::fprintf(stderr, "bench_inference: cannot write %s\n", out);
+  // Persist through the shared sink protocol (DNND_JSON_OUT file or run
+  // directory); the unconditional stdout print above is the legacy contract.
+  std::string destination;
+  switch (harness::write_document_from_env(w.str(), "inference", &destination)) {
+    case harness::SinkWriteStatus::kWritten:
+      std::printf("[sink] throughput JSON -> %s\n", destination.c_str());
+      break;
+    case harness::SinkWriteStatus::kFailed:
       return 1;
-    }
-    f << w.str() << '\n';
-    std::printf("[sink] throughput JSON -> %s\n", out);
+    case harness::SinkWriteStatus::kNoSink:
+      break;
   }
   return 0;
 }

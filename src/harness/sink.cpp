@@ -57,13 +57,11 @@ void write_claimed_fd(int fd, const std::string& path, const std::string& text) 
 
 }  // namespace
 
-void StdoutSink::write(const CampaignResult& campaign) {
-  std::printf("%s\n", campaign.to_json().c_str());
+void StdoutSink::write_text(const std::string& text) {
+  std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
-void FileSink::write(const CampaignResult& campaign) {
-  write_text_file(path_, campaign.to_json() + "\n");
-}
+void FileSink::write_text(const std::string& text) { write_text_file(path_, text); }
 
 std::string RunDirectorySink::slot_path(usize i) const {
   char name[64];
@@ -79,11 +77,10 @@ std::string RunDirectorySink::next_path() const {
   throw std::runtime_error("run directory full: " + dir_);
 }
 
-void RunDirectorySink::write(const CampaignResult& campaign) {
+void RunDirectorySink::write_text(const std::string& text) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) throw std::runtime_error("cannot create directory " + dir_ + ": " + ec.message());
-  const std::string text = campaign.to_json() + "\n";
   // Claim the slot atomically with O_EXCL: an exists-then-open sequence
   // races against concurrent writers (both see slot N free, the second
   // truncates the first's run). With O_EXCL the loser of the race gets
@@ -102,11 +99,11 @@ void RunDirectorySink::write(const CampaignResult& campaign) {
   throw std::runtime_error("run directory full: " + dir_);
 }
 
-std::unique_ptr<CampaignSink> sink_from_env() {
+std::unique_ptr<CampaignSink> sink_from_env(const std::string& stem) {
   if (const char* out = std::getenv("DNND_JSON_OUT"); out != nullptr && out[0] != '\0') {
     const std::string path(out);
     if (path.back() == '/' || fs::is_directory(path)) {
-      return std::make_unique<RunDirectorySink>(path);
+      return std::make_unique<RunDirectorySink>(path, stem);
     }
     // A plain-file destination must be unambiguous: an existing file, or a
     // fresh *.json path. A not-yet-existing extensionless path is usually a
@@ -128,29 +125,34 @@ std::unique_ptr<CampaignSink> sink_from_env() {
   return nullptr;
 }
 
-SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
+SinkWriteStatus write_document_from_env(const std::string& json, const std::string& stem,
                                         std::string* destination) {
   std::unique_ptr<CampaignSink> sink;
   try {
-    sink = sink_from_env();
+    sink = sink_from_env(stem);
   } catch (const std::exception& e) {
     // An unusable DNND_JSON_OUT is a failed persist, not a no-op: the caller
     // asked for an artifact and must not exit 0 without one.
-    std::fprintf(stderr, "[sink] FAILED to persist campaign: %s\n", e.what());
+    std::fprintf(stderr, "[sink] FAILED to persist %s: %s\n", stem.c_str(), e.what());
     return SinkWriteStatus::kFailed;
   }
   if (!sink) return SinkWriteStatus::kNoSink;
   if (destination != nullptr) *destination = sink->describe();
   try {
-    sink->write(campaign);
+    sink->write_text(json + "\n");
   } catch (const std::exception& e) {
     // Called at the tail of bench mains, after the sweep: losing the whole
     // run to an unwritable path would be worse than a loud stderr line.
-    std::fprintf(stderr, "[sink] FAILED to persist campaign to %s: %s\n",
+    std::fprintf(stderr, "[sink] FAILED to persist %s to %s: %s\n", stem.c_str(),
                  sink->describe().c_str(), e.what());
     return SinkWriteStatus::kFailed;
   }
   return SinkWriteStatus::kWritten;
+}
+
+SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
+                                        std::string* destination) {
+  return write_document_from_env(campaign.to_json(), "campaign", destination);
 }
 
 }  // namespace dnnd::harness

@@ -1,11 +1,12 @@
-// CampaignSink: durable destinations for campaign results.
+// CampaignSink: durable destinations for JSON artifacts.
 //
-// A sink receives a finished CampaignResult and persists its deterministic
-// JSON somewhere a later process can reload it (campaign_from_json) and diff
-// it (dnnd_diff). Three concrete sinks: stdout (the legacy DNND_JSON=1
-// behavior, byte-identical), a single file, and a directory that collects one
-// numbered file per run. sink_from_env() wires the env-var protocol the
-// bench binaries share.
+// A sink persists one deterministic JSON document somewhere a later process
+// can reload it (campaign_from_json, serving_report_from_json) and diff it
+// (dnnd_diff, dnnd_serving_check). Three concrete sinks: stdout (the legacy
+// DNND_JSON=1 behavior, byte-identical), a single file, and a directory that
+// collects one numbered file per run. sink_from_env() wires the env-var
+// protocol the bench binaries share; write_campaign_from_env() /
+// write_document_from_env() are the one-call conveniences on top of it.
 #pragma once
 
 #include <memory>
@@ -19,34 +20,39 @@ class CampaignSink {
  public:
   virtual ~CampaignSink() = default;
 
-  /// Persists one campaign. Throws std::runtime_error on I/O failure.
-  virtual void write(const CampaignResult& campaign) = 0;
+  /// Persists one newline-terminated JSON document. Throws
+  /// std::runtime_error on I/O failure. This is the single primitive every
+  /// sink implements; campaign- or report-shaped writes all funnel here.
+  virtual void write_text(const std::string& text) = 0;
+
+  /// Persists one campaign (its to_json() plus a trailing newline).
+  void write(const CampaignResult& campaign) { write_text(campaign.to_json() + "\n"); }
 
   /// Human-readable destination ("stdout", the file path, ...).
   [[nodiscard]] virtual std::string describe() const = 0;
 };
 
-/// Prints the campaign JSON to stdout followed by a newline -- byte-identical
-/// to the pre-sink `DNND_JSON=1` inline printf in the migrated benches.
+/// Prints the document to stdout -- byte-identical to the pre-sink
+/// `DNND_JSON=1` inline printf in the migrated benches.
 class StdoutSink final : public CampaignSink {
  public:
-  void write(const CampaignResult& campaign) override;
+  void write_text(const std::string& text) override;
   [[nodiscard]] std::string describe() const override { return "stdout"; }
 };
 
-/// Writes the campaign JSON (newline-terminated) to one file, creating
-/// parent directories and truncating any previous content.
+/// Writes the document to one file, creating parent directories and
+/// truncating any previous content.
 class FileSink final : public CampaignSink {
  public:
   explicit FileSink(std::string path) : path_(std::move(path)) {}
-  void write(const CampaignResult& campaign) override;
+  void write_text(const std::string& text) override;
   [[nodiscard]] std::string describe() const override { return path_; }
 
  private:
   std::string path_;
 };
 
-/// Collects a directory of runs: each write() lands in the next free
+/// Collects a directory of runs: each write lands in the next free
 /// "<stem>-NNNN.json" slot, so successive campaigns accumulate side by side
 /// for cross-run diffing. Slots are claimed atomically (O_CREAT|O_EXCL), so
 /// concurrent processes sharing one directory each get their own file --
@@ -55,12 +61,12 @@ class RunDirectorySink final : public CampaignSink {
  public:
   explicit RunDirectorySink(std::string dir, std::string stem = "campaign")
       : dir_(std::move(dir)), stem_(std::move(stem)) {}
-  void write(const CampaignResult& campaign) override;
+  void write_text(const std::string& text) override;
   [[nodiscard]] std::string describe() const override { return dir_ + "/" + stem_ + "-*.json"; }
 
-  /// The path the next write() would use if no other writer intervenes
-  /// (advisory, for tests/logging; write() claims its slot atomically and
-  /// may land on a later number under contention).
+  /// The path the next write would use if no other writer intervenes
+  /// (advisory, for tests/logging; write_text() claims its slot atomically
+  /// and may land on a later number under contention).
   [[nodiscard]] std::string next_path() const;
 
  private:
@@ -72,7 +78,7 @@ class RunDirectorySink final : public CampaignSink {
 
 /// Sink selected by the shared bench env protocol:
 ///  - DNND_JSON_OUT ending in '/' or naming an existing directory
-///    -> RunDirectorySink.
+///    -> RunDirectorySink (numbered "<stem>-NNNN.json" slots).
 ///  - DNND_JSON_OUT naming an existing file or a fresh "*.json" path
 ///    -> FileSink.
 ///  - DNND_JSON_OUT naming a not-yet-existing path with neither a trailing
@@ -81,11 +87,11 @@ class RunDirectorySink final : public CampaignSink {
 ///    throws std::runtime_error.
 ///  - otherwise DNND_JSON=1 -> StdoutSink (legacy behavior).
 ///  - otherwise nullptr (no JSON output requested).
-std::unique_ptr<CampaignSink> sink_from_env();
+std::unique_ptr<CampaignSink> sink_from_env(const std::string& stem = "campaign");
 
 enum class SinkWriteStatus {
   kNoSink,   ///< no sink configured in the environment; nothing written
-  kWritten,  ///< campaign persisted successfully
+  kWritten,  ///< document persisted successfully
   kFailed,   ///< sink configured but the write failed (reported on stderr)
 };
 
@@ -94,6 +100,12 @@ enum class SinkWriteStatus {
 /// thrown (the campaign already printed its table; don't abort the bench).
 /// When `destination` is non-null it receives the sink's describe() string.
 SinkWriteStatus write_campaign_from_env(const CampaignResult& campaign,
+                                        std::string* destination = nullptr);
+
+/// Same protocol for an arbitrary pre-serialized JSON document (the serving
+/// report, the inference bench summary, ...). `json` must NOT carry its own
+/// trailing newline; `stem` names run-directory slots ("<stem>-NNNN.json").
+SinkWriteStatus write_document_from_env(const std::string& json, const std::string& stem,
                                         std::string* destination = nullptr);
 
 }  // namespace dnnd::harness

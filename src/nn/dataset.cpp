@@ -29,16 +29,23 @@ SynthSpec SynthSpec::imagenet_like() {
 }
 
 std::pair<Tensor, std::vector<u32>> Dataset::gather(const std::vector<usize>& indices) const {
+  Tensor batch;
+  std::vector<u32> y;
+  gather_into(indices, batch, y);
+  return {std::move(batch), std::move(y)};
+}
+
+void Dataset::gather_into(const std::vector<usize>& indices, Tensor& batch,
+                          std::vector<u32>& y) const {
   const usize c = images.dim(1), h = images.dim(2), w = images.dim(3);
   const usize stride = c * h * w;
-  Tensor batch({indices.size(), c, h, w});
-  std::vector<u32> y(indices.size());
+  batch.resize({indices.size(), c, h, w});
+  y.resize(indices.size());
   for (usize i = 0; i < indices.size(); ++i) {
     assert(indices[i] < size());
     std::copy_n(images.data() + indices[i] * stride, stride, batch.data() + i * stride);
     y[i] = labels[indices[i]];
   }
-  return {std::move(batch), std::move(y)};
 }
 
 std::pair<Tensor, std::vector<u32>> Dataset::head(usize n) const {

@@ -46,6 +46,14 @@ struct Dataset {
   [[nodiscard]] std::pair<Tensor, std::vector<u32>> gather(
       const std::vector<usize>& indices) const;
 
+  /// gather() into caller-owned storage: `batch` is resized to
+  /// {indices.size(), C, H, W} (capacity is monotonic, so a reused batch
+  /// tensor stops allocating once it has seen the largest batch) and `y` to
+  /// indices.size(). The serving loop forms thousands of small batches; this
+  /// keeps the per-batch heap traffic out of the latency path.
+  void gather_into(const std::vector<usize>& indices, Tensor& batch,
+                   std::vector<u32>& y) const;
+
   /// First `n` samples (deterministic "sample batch" for attacks, mirroring
   /// the paper's 128-image attack batch).
   [[nodiscard]] std::pair<Tensor, std::vector<u32>> head(usize n) const;

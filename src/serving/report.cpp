@@ -1,0 +1,210 @@
+#include "serving/report.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "sys/json.hpp"
+
+namespace dnnd::serving {
+
+namespace {
+
+void write_config(sys::JsonWriter& w, const ServeConfig& cfg) {
+  w.begin_object();
+  w.key("rate_rps").value(cfg.rate_rps);
+  w.key("duration_ms").value(cfg.duration_ms);
+  w.key("batch_cap").value(cfg.batch_cap);
+  w.key("max_wait_us").value(cfg.max_wait_us);
+  w.key("queue_depth").value(cfg.queue_depth);
+  w.key("seed").value(cfg.seed);
+  w.key("service_ns_base").value(cfg.service_ns_base);
+  w.key("service_ns_per_req").value(cfg.service_ns_per_req);
+  w.key("tick_every_us").value(cfg.tick_every_us);
+  w.key("attack_every").value(cfg.attack_every);
+  w.key("reservoir").value(cfg.reservoir);
+  w.end_object();
+}
+
+void write_regime(sys::JsonWriter& w, const RegimeStats& r) {
+  w.begin_object();
+  w.key("name").value(r.name);
+  w.key("requests").value(r.requests);
+  w.key("admitted").value(r.admitted);
+  w.key("dropped").value(r.dropped);
+  w.key("batches").value(r.batches);
+  w.key("batch_histogram").begin_array();
+  for (const usize c : r.batch_histogram) w.value(c);
+  w.end_array();
+  w.key("queue_peak").value(r.queue_peak);
+  w.key("ticks").value(r.ticks);
+  w.key("attack_attempts").value(r.attack_attempts);
+  w.key("attack_landed").value(r.attack_landed);
+  w.key("attack_blocked").value(r.attack_blocked);
+  w.key("accuracy_before").value(r.accuracy_before);
+  w.key("accuracy_after").value(r.accuracy_after);
+  w.key("digest").value(r.digest);
+  w.key("offered_rps").value(r.offered_rps);
+  w.key("achieved_rps").value(r.achieved_rps);
+  w.key("wall_seconds").value(r.wall_seconds);
+  w.key("p50_ns").value(r.p50_ns);
+  w.key("p99_ns").value(r.p99_ns);
+  w.key("p999_ns").value(r.p999_ns);
+  w.key("latencies_seen").value(r.latencies_seen);
+  w.end_object();
+}
+
+/// at() with a loader-specific error naming the field and its location
+/// (same contract as campaign_from_json's loader).
+const sys::JsonValue& require_field(const sys::JsonValue& obj, std::string_view key,
+                                    const std::string& where) {
+  if (!obj.is_object() || !obj.contains(key)) {
+    throw sys::JsonParseError("serving_report_from_json: missing required field \"" +
+                              std::string(key) + "\" in " + where);
+  }
+  return obj.at(key);
+}
+
+ServeConfig config_from_json(const sys::JsonValue& c, const std::string& where) {
+  ServeConfig cfg;
+  cfg.rate_rps = static_cast<usize>(require_field(c, "rate_rps", where).as_u64());
+  cfg.duration_ms = static_cast<usize>(require_field(c, "duration_ms", where).as_u64());
+  cfg.batch_cap = static_cast<usize>(require_field(c, "batch_cap", where).as_u64());
+  cfg.max_wait_us = static_cast<usize>(require_field(c, "max_wait_us", where).as_u64());
+  cfg.queue_depth = static_cast<usize>(require_field(c, "queue_depth", where).as_u64());
+  cfg.seed = require_field(c, "seed", where).as_u64();
+  cfg.service_ns_base =
+      static_cast<usize>(require_field(c, "service_ns_base", where).as_u64());
+  cfg.service_ns_per_req =
+      static_cast<usize>(require_field(c, "service_ns_per_req", where).as_u64());
+  cfg.tick_every_us = static_cast<usize>(require_field(c, "tick_every_us", where).as_u64());
+  cfg.attack_every = static_cast<usize>(require_field(c, "attack_every", where).as_u64());
+  cfg.reservoir = static_cast<usize>(require_field(c, "reservoir", where).as_u64());
+  return cfg;
+}
+
+RegimeStats regime_from_json(const sys::JsonValue& s, const std::string& where) {
+  RegimeStats r;
+  r.name = require_field(s, "name", where).as_string();
+  r.requests = static_cast<usize>(require_field(s, "requests", where).as_u64());
+  r.admitted = static_cast<usize>(require_field(s, "admitted", where).as_u64());
+  r.dropped = static_cast<usize>(require_field(s, "dropped", where).as_u64());
+  r.batches = static_cast<usize>(require_field(s, "batches", where).as_u64());
+  for (const sys::JsonValue& v : require_field(s, "batch_histogram", where).items()) {
+    r.batch_histogram.push_back(static_cast<usize>(v.as_u64()));
+  }
+  r.queue_peak = static_cast<usize>(require_field(s, "queue_peak", where).as_u64());
+  r.ticks = static_cast<usize>(require_field(s, "ticks", where).as_u64());
+  r.attack_attempts =
+      static_cast<usize>(require_field(s, "attack_attempts", where).as_u64());
+  r.attack_landed = static_cast<usize>(require_field(s, "attack_landed", where).as_u64());
+  r.attack_blocked =
+      static_cast<usize>(require_field(s, "attack_blocked", where).as_u64());
+  r.accuracy_before = require_field(s, "accuracy_before", where).as_double();
+  r.accuracy_after = require_field(s, "accuracy_after", where).as_double();
+  r.digest = require_field(s, "digest", where).as_u64();
+  r.offered_rps = require_field(s, "offered_rps", where).as_double();
+  r.achieved_rps = require_field(s, "achieved_rps", where).as_double();
+  r.wall_seconds = require_field(s, "wall_seconds", where).as_double();
+  r.p50_ns = require_field(s, "p50_ns", where).as_u64();
+  r.p99_ns = require_field(s, "p99_ns", where).as_u64();
+  r.p999_ns = require_field(s, "p999_ns", where).as_u64();
+  r.latencies_seen = require_field(s, "latencies_seen", where).as_u64();
+  return r;
+}
+
+}  // namespace
+
+std::string ServingReport::to_json() const {
+  sys::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("bench_serving");
+  w.key("model").value(model);
+  w.key("threads").value(threads);
+  w.key("simd").value(simd);
+  w.key("config");
+  write_config(w, config);
+  w.key("regimes").begin_array();
+  for (const RegimeStats& r : regimes) write_regime(w, r);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+ServingReport serving_report_from_json(std::string_view json) {
+  const sys::JsonValue doc = sys::parse_json(json);
+  const std::string where = "document";
+  if (const std::string bench = require_field(doc, "bench", where).as_string();
+      bench != "bench_serving") {
+    throw sys::JsonParseError("serving_report_from_json: not a bench_serving document "
+                              "(bench=\"" + bench + "\")");
+  }
+  ServingReport out;
+  out.model = require_field(doc, "model", where).as_string();
+  out.threads = static_cast<usize>(require_field(doc, "threads", where).as_u64());
+  out.simd = require_field(doc, "simd", where).as_string();
+  out.config = config_from_json(require_field(doc, "config", where), "config");
+  for (const sys::JsonValue& s : require_field(doc, "regimes", where).items()) {
+    const std::string rwhere =
+        "regime " + (s.is_object() && s.contains("name") ? s.at("name").as_string()
+                                                         : std::to_string(out.regimes.size()));
+    out.regimes.push_back(regime_from_json(s, rwhere));
+  }
+  return out;
+}
+
+void validate_serving_report(const ServingReport& report) {
+  auto fail = [](const std::string& what) {
+    throw std::runtime_error("serving report invalid: " + what);
+  };
+  if (report.regimes.empty()) fail("no regimes");
+  std::set<std::string> names;
+  for (const RegimeStats& r : report.regimes) {
+    const std::string tag = "regime \"" + r.name + "\": ";
+    if (!names.insert(r.name).second) fail("duplicate regime name \"" + r.name + "\"");
+    if (r.admitted + r.dropped != r.requests) {
+      fail(tag + "admitted + dropped != requests");
+    }
+    usize hist_requests = 0, hist_batches = 0;
+    for (usize size = 0; size < r.batch_histogram.size(); ++size) {
+      hist_requests += size * r.batch_histogram[size];
+      hist_batches += r.batch_histogram[size];
+    }
+    if (hist_batches != r.batches) fail(tag + "histogram batch count != batches");
+    if (hist_requests != r.admitted) fail(tag + "histogram request mass != admitted");
+    if (r.p50_ns > r.p99_ns || r.p99_ns > r.p999_ns) {
+      fail(tag + "percentiles not monotone (p50 <= p99 <= p999)");
+    }
+    if (r.admitted > 0) {
+      if (r.achieved_rps <= 0.0) fail(tag + "achieved_rps not positive");
+      if (r.latencies_seen != r.admitted) fail(tag + "latencies_seen != admitted");
+    }
+    for (const double acc : {r.accuracy_before, r.accuracy_after}) {
+      if (!(acc >= 0.0 && acc <= 1.0)) fail(tag + "accuracy outside [0, 1]");
+    }
+  }
+}
+
+std::string deterministic_projection(const ServingReport& report) {
+  // One line per regime, fixed field order, no wall-clock fields. Accuracy
+  // uses the writer's round-trip formatting so the projection is stable
+  // across a JSON round trip.
+  std::string out;
+  for (const RegimeStats& r : report.regimes) {
+    out += r.name;
+    out += " digest=" + std::to_string(r.digest);
+    out += " requests=" + std::to_string(r.requests);
+    out += " admitted=" + std::to_string(r.admitted);
+    out += " dropped=" + std::to_string(r.dropped);
+    out += " batches=" + std::to_string(r.batches);
+    out += " queue_peak=" + std::to_string(r.queue_peak);
+    out += " ticks=" + std::to_string(r.ticks);
+    out += " attacks=" + std::to_string(r.attack_attempts) + "/" +
+           std::to_string(r.attack_landed) + "/" + std::to_string(r.attack_blocked);
+    out += " acc=" + sys::json_number(r.accuracy_before) + "->" +
+           sys::json_number(r.accuracy_after);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dnnd::serving

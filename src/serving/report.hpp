@@ -1,0 +1,50 @@
+// ServingReport: the bench_serving JSON artifact -- one document carrying
+// the resolved configuration and one RegimeStats block per serving regime
+// (defense off / defense on / defense on + live attack).
+//
+// to_json() is byte-stable for identical inputs (sys::JsonWriter). The
+// strict loader mirrors campaign_from_json: every field is required, and a
+// missing or mistyped one names itself and its location instead of loading
+// as a plausible-looking report. validate() checks the cross-field
+// invariants CI gates on (percentile ordering, throughput positivity,
+// admission accounting, histogram consistency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serving/server.hpp"
+
+namespace dnnd::serving {
+
+struct ServingReport {
+  std::string model;   ///< zoo arch served
+  usize threads = 0;   ///< resolved GEMM team size
+  std::string simd;    ///< active kernel ISA name
+  ServeConfig config;  ///< resolved knobs (post-normalize)
+  std::vector<RegimeStats> regimes;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Strict inverse of ServingReport::to_json(); throws sys::JsonParseError
+/// on any missing/mistyped field.
+ServingReport serving_report_from_json(std::string_view json);
+
+/// Cross-field invariants; throws std::runtime_error naming the first
+/// violated one:
+///  - at least one regime; regime names unique;
+///  - per regime: admitted + dropped == requests, histogram sums to
+///    admitted, batch count matches the histogram, p50 <= p99 <= p999,
+///    achieved_rps > 0 and latencies_seen == admitted when any request was
+///    admitted, accuracies in [0, 1].
+void validate_serving_report(const ServingReport& report);
+
+/// The deterministic projection of a report: one line per regime with every
+/// byte-gated field (digest, counts, accuracies) and none of the wall-clock
+/// ones. Two runs of bench_serving with the same knobs must produce
+/// identical projections regardless of DNND_THREADS -- the CI determinism
+/// gate diffs exactly this string.
+std::string deterministic_projection(const ServingReport& report);
+
+}  // namespace dnnd::serving

@@ -1,0 +1,207 @@
+#include "serving/server.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "attack/bfa.hpp"
+
+namespace dnnd::serving {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Rendezvous between the server loop and the attacker thread. The model
+/// workspace and the DRAM device are shared and not thread-safe, so attack
+/// slots are strictly serialized: the server parks on `done` while the
+/// attacker works, which also keeps the decision stream independent of
+/// thread scheduling.
+struct AttackerChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool requested = false;
+  bool done = false;
+  bool stop = false;
+
+  void request_and_wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    requested = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return done; });
+    done = false;
+  }
+
+  /// Attacker side: true = one slot granted, false = shutdown.
+  bool await_slot() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return requested || stop; });
+    if (stop && !requested) return false;
+    requested = false;
+    return true;
+  }
+
+  void mark_done() {
+    const std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  }
+
+  void shutdown() {
+    const std::lock_guard<std::mutex> lock(mu);
+    stop = true;
+    cv.notify_all();
+  }
+};
+
+}  // namespace
+
+RegimeStats serve_regime(const std::string& name, system::ProtectedSystem& psys,
+                         const nn::Dataset& pool, const nn::Tensor& eval_x,
+                         const std::vector<u32>& eval_y, const nn::Tensor& attack_x,
+                         const std::vector<u32>& attack_y, const ServeConfig& cfg,
+                         bool attack_on) {
+  RegimeStats stats;
+  stats.name = name;
+
+  const ServingPlan plan = plan_serving(cfg, pool.size());
+  stats.requests = plan.arrivals.size();
+  stats.admitted = plan.admitted.size();
+  stats.dropped = plan.dropped.size();
+  stats.batches = plan.batches.size();
+  stats.batch_histogram = plan.batch_histogram;
+  stats.queue_peak = plan.queue_peak;
+  stats.offered_rps = static_cast<double>(stats.requests) /
+                      (static_cast<double>(cfg.duration_ms) / 1e3);
+
+  nn::Model& model = psys.qm().model();
+  stats.accuracy_before = model.evaluate_batch(eval_x, eval_y).accuracy;
+
+  u64 digest = plan.digest;
+
+  // ----- attacker thread -----------------------------------------------------
+  AttackerChannel channel;
+  std::thread attacker;
+  if (attack_on) {
+    attacker = std::thread([&] {
+      // Mirrors ProtectedSystem::run_white_box_attack's inner loop: propose
+      // on the synced white-box copy, undo the search's local commit (DRAM
+      // is authoritative), carry the flip through the device, learn blocks.
+      attack::BfaConfig bcfg;
+      attack::ProgressiveBitSearch search(psys.qm(), attack_x, attack_y, bcfg);
+      quant::BitSkipSet learned_blocked;
+      while (channel.await_slot()) {
+        auto rec = search.step(learned_blocked);
+        if (rec.has_value()) {
+          psys.qm().flip(rec->loc);  // undo the search's commit
+          const attack::FlipAttempt attempt = psys.attack_bit(rec->loc);
+          stats.attack_attempts += 1;
+          if (attempt.success) {
+            stats.attack_landed += 1;
+          } else {
+            stats.attack_blocked += 1;
+            learned_blocked.insert(rec->loc);
+          }
+          // The server is parked on mark_done(), so this interleaves at a
+          // deterministic point of the decision stream.
+          digest = sys::hash_combine(digest, rec->loc.key(),
+                                     static_cast<u64>(attempt.success));
+        } else {
+          digest = sys::hash_combine(digest, sys::stable_hash64("bfa-exhausted"));
+        }
+        channel.mark_done();
+      }
+    });
+  }
+
+  // ----- open-loop generator thread ------------------------------------------
+  BoundedRequestQueue queue(cfg.queue_depth);
+  const steady::time_point t0 = steady::now();
+  std::thread generator([&] {
+    // Paces ADMITTED requests only: the plan already charged the drops at
+    // their virtual arrival instants, so the executor must not re-drop
+    // under wall-clock jitter (composition would diverge from the plan).
+    for (const usize idx : plan.admitted) {
+      const Request& r = plan.arrivals[idx];
+      std::this_thread::sleep_until(t0 + std::chrono::nanoseconds(r.arrival_ns));
+      if (!queue.push(idx)) return;  // closed early (unreachable in practice)
+    }
+    queue.close();
+  });
+
+  // ----- server loop (this thread) -------------------------------------------
+  LatencyReservoir reservoir(cfg.reservoir, cfg.seed);
+  const u64 tick_ns = static_cast<u64>(cfg.tick_every_us) * 1000ULL;
+  usize ticks_done = 0;
+  nn::Tensor batch_x;
+  std::vector<u32> batch_y;
+  std::vector<usize> members;
+  std::vector<usize> sample_idx;
+  for (const PlannedBatch& b : plan.batches) {
+    members.clear();
+    for (usize k = 0; k < b.count; ++k) {
+      const auto item = queue.pop();
+      if (!item.has_value()) break;  // closed early (shutdown path)
+      members.push_back(*item);
+    }
+    // The generator feeds admitted requests in plan order through a FIFO,
+    // so the popped ids replay plan.admitted exactly; folding them into the
+    // digest pins the real pipeline against the plan.
+    for (usize k = 0; k < members.size(); ++k) {
+      assert(members[k] == plan.admitted[b.first + k]);
+      digest = sys::hash_combine(digest, plan.arrivals[members[k]].id);
+    }
+    if (members.empty()) break;
+
+    // Defender maintenance scheduled in VIRTUAL time: pump every periodic
+    // tick due by this batch's finish instant. With no attack there are no
+    // DRAM commands, so this is the only thing advancing the device clock.
+    while (tick_ns > 0 && (ticks_done + 1) * tick_ns <= b.finish_ns) {
+      ticks_done += 1;
+      psys.advance_time_to(static_cast<Picoseconds>(ticks_done * tick_ns) * 1000);
+    }
+
+    if (b.attack_before && attack_on) channel.request_and_wait();
+
+    sample_idx.clear();
+    for (const usize idx : members) sample_idx.push_back(plan.arrivals[idx].sample);
+    pool.gather_into(sample_idx, batch_x, batch_y);
+    const nn::BatchEval eval = model.evaluate_batch(batch_x, batch_y);
+    digest = sys::hash_combine(digest, eval.correct);
+
+    const steady::time_point now = steady::now();
+    for (const usize idx : members) {
+      const auto arrival = t0 + std::chrono::nanoseconds(plan.arrivals[idx].arrival_ns);
+      const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now - arrival);
+      reservoir.add(waited.count() > 0 ? static_cast<u64>(waited.count()) : 0);
+    }
+  }
+  stats.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(steady::now() - t0).count();
+
+  queue.close();
+  generator.join();
+  if (attack_on) {
+    channel.shutdown();
+    attacker.join();
+  }
+
+  stats.ticks = ticks_done;
+  digest = sys::hash_combine(digest, ticks_done);
+  stats.digest = digest;
+  stats.accuracy_after = model.evaluate_batch(eval_x, eval_y).accuracy;
+
+  stats.latencies_seen = reservoir.seen();
+  stats.p50_ns = reservoir.percentile(50.0);
+  stats.p99_ns = reservoir.percentile(99.0);
+  stats.p999_ns = reservoir.percentile(99.9);
+  stats.achieved_rps = stats.wall_seconds > 0.0
+                           ? static_cast<double>(stats.admitted) / stats.wall_seconds
+                           : 0.0;
+  return stats;
+}
+
+}  // namespace dnnd::serving

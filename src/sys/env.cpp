@@ -1,5 +1,6 @@
 #include "sys/env.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -51,6 +52,44 @@ usize env_usize(const char* name, usize fallback) {
   if (const auto parsed = parse_usize(v); parsed.has_value()) return *parsed;
   warn_malformed(name, v, fallback);
   return fallback;
+}
+
+std::optional<double> parse_finite_double(std::string_view text) {
+  usize lo = 0, hi = text.size();
+  while (lo < hi && is_space(text[lo])) ++lo;
+  while (hi > lo && is_space(text[hi - 1])) --hi;
+  if (lo == hi) return std::nullopt;
+
+  // Validate the lexeme against the canonical decimal grammar BEFORE calling
+  // strtod: strtod itself happily accepts hex floats, "inf"/"nan", and
+  // partial parses, which is exactly the laxness this helper exists to ban.
+  usize i = lo;
+  if (text[i] == '-') ++i;
+  auto digits = [&] {
+    const usize before = i;
+    while (i < hi && text[i] >= '0' && text[i] <= '9') ++i;
+    return i > before;
+  };
+  if (!digits()) return std::nullopt;
+  if (i < hi && text[i] == '.') {
+    ++i;
+    if (!digits()) return std::nullopt;
+  }
+  if (i < hi && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < hi && (text[i] == '+' || text[i] == '-')) ++i;
+    if (!digits()) return std::nullopt;
+  }
+  if (i != hi) return std::nullopt;
+
+  const std::string lexeme(text.substr(lo, hi - lo));
+  char* end = nullptr;
+  const double v = std::strtod(lexeme.c_str(), &end);
+  if (end != lexeme.c_str() + lexeme.size()) return std::nullopt;
+  // Overflow saturates to +-HUGE_VAL; a knob that large is a typo, not a
+  // tolerance. (Underflow to a tiny finite value or zero is fine.)
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
 }
 
 }  // namespace dnnd::sys

@@ -28,4 +28,13 @@ namespace dnnd::sys {
 /// hot paths: no allocation on the well-formed path.
 [[nodiscard]] usize env_usize(const char* name, usize fallback);
 
+/// Parses a canonical decimal floating-point value (surrounding ASCII
+/// whitespace allowed; optional leading '-'; digits with optional fraction
+/// and decimal exponent). Returns nullopt for anything else -- empty input,
+/// '+' prefixes, hex floats ("0x1p3", which bare strtod accepts), "inf",
+/// "nan", trailing garbage, or a lexeme whose value overflows a finite
+/// double. The floating-point sibling of parse_usize: one strict contract
+/// for every numeric knob and CLI argument.
+[[nodiscard]] std::optional<double> parse_finite_double(std::string_view text);
+
 }  // namespace dnnd::sys

@@ -1,6 +1,8 @@
 #include "sys/json.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -166,8 +168,16 @@ u64 JsonValue::as_u64() const {
       text_.find_first_not_of("0123456789") != std::string::npos) {
     throw JsonParseError("JsonValue: not a non-negative integer: " + text_);
   }
-  // Reparse the lexeme so integers above 2^53 survive exactly.
-  return std::strtoull(text_.c_str(), nullptr, 10);
+  // Reparse the lexeme so integers above 2^53 survive exactly. strtoull
+  // saturates to ULLONG_MAX on overflow instead of failing, so a digits-only
+  // lexeme above 2^64-1 must be caught through ERANGE.
+  errno = 0;
+  char* end = nullptr;
+  const u64 v = std::strtoull(text_.c_str(), &end, 10);
+  if (errno == ERANGE || end != text_.c_str() + text_.size()) {
+    throw JsonParseError("JsonValue: integer out of u64 range: " + text_);
+  }
+  return v;
 }
 
 const std::string& JsonValue::as_string() const {
@@ -464,6 +474,13 @@ class JsonParser {
     j.kind_ = JsonValue::Kind::kNumber;
     j.text_ = std::string(src_.substr(start, pos_ - start));
     j.num_ = std::strtod(j.text_.c_str(), nullptr);
+    // strtod turns an overflowing lexeme ("1e999") into +-HUGE_VAL; a
+    // document carrying a number no double can represent must fail loudly
+    // instead of loading as infinity. Underflow (ERANGE with a tiny finite
+    // result) is accepted: the nearest representable value is 0-ish, not a
+    // lie. as_u64 re-parses integer lexemes itself, so this guard only has
+    // to keep the double view honest.
+    if (!std::isfinite(j.num_)) fail("number overflows double: " + j.text_);
     return j;
   }
 

@@ -49,8 +49,8 @@ std::string fmt(double v, int precision) {
   return out.str();
 }
 
-std::string fmt_count(long long v) {
-  std::string digits = std::to_string(v < 0 ? -v : v);
+std::string fmt_count(unsigned long long v) {
+  const std::string digits = std::to_string(v);
   std::string out;
   int count = 0;
   for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
@@ -58,8 +58,16 @@ std::string fmt_count(long long v) {
     out.push_back(*it);
     ++count;
   }
-  if (v < 0) out.push_back('-');
   return {out.rbegin(), out.rend()};
+}
+
+std::string fmt_count(long long v) {
+  // Negate in unsigned space: -LLONG_MIN does not exist as a long long, so
+  // the naive `-v` is UB exactly at the value most likely to appear after a
+  // counter wrap. 0 - (unsigned)v is well-defined modular arithmetic and
+  // yields the magnitude for every negative input including LLONG_MIN.
+  if (v < 0) return "-" + fmt_count(0ULL - static_cast<unsigned long long>(v));
+  return fmt_count(static_cast<unsigned long long>(v));
 }
 
 }  // namespace dnnd::sys

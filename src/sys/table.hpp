@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dnnd::sys {
@@ -32,7 +33,24 @@ class Table {
 /// Formats a double with fixed precision (reporting helper).
 std::string fmt(double v, int precision = 2);
 
-/// Formats a large count with thousands separators (e.g. 1,150).
+/// Formats a large count with thousands separators (e.g. 1,150). The
+/// unsigned overload exists so u64 counters print directly: routing them
+/// through the signed overload renders values above 2^63-1 as negative.
 std::string fmt_count(long long v);
+std::string fmt_count(unsigned long long v);
+
+/// Any other integer type dispatches by its own signedness, so u64/u32
+/// counters never narrow through `long long` at the call site (and the
+/// two-overload set stays unambiguous for every integral argument).
+template <typename T>
+  requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+           !std::is_same_v<T, long long> && !std::is_same_v<T, unsigned long long>)
+std::string fmt_count(T v) {
+  if constexpr (std::is_signed_v<T>) {
+    return fmt_count(static_cast<long long>(v));
+  } else {
+    return fmt_count(static_cast<unsigned long long>(v));
+  }
+}
 
 }  // namespace dnnd::sys

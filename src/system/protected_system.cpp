@@ -75,6 +75,13 @@ void ProtectedSystem::upload_model_to_dram() {
   mapping_->upload(qm_, *device_, *remap_);
 }
 
+bool ProtectedSystem::advance_time_to(Picoseconds target) {
+  if (target > device_->now()) device_->advance(target - device_->now());
+  if (!mitigation_) return false;
+  mitigation_->tick();
+  return true;
+}
+
 quant::BitSkipSet ProtectedSystem::secured_bits() const {
   quant::BitSkipSet set;
   if (defender_ == nullptr) return set;

@@ -78,6 +78,14 @@ class ProtectedSystem {
   /// Re-uploads the quantized model into DRAM (e.g., after software repair).
   void upload_model_to_dram();
 
+  /// Advances the device clock to `target` (no-op if the device is already
+  /// there or beyond) and pumps the installed mitigation's tick() once so
+  /// time-based maintenance (refresh-window bookkeeping, scheduled swaps)
+  /// observes the new time even when no DRAM command fired the post-ACT
+  /// hook. Returns true if a mitigation ticked. This is the serving bench's
+  /// bridge between virtual batch-close times and the defense schedule.
+  bool advance_time_to(Picoseconds target);
+
   /// All weight bits residing in the defender's target rows -- the Secured
   /// Bits set the adaptive white-box attacker must skip.
   [[nodiscard]] quant::BitSkipSet secured_bits() const;

@@ -108,6 +108,27 @@ TEST(JsonParse, AsU64RejectsNegativeAndFractionalLexemes) {
   EXPECT_DOUBLE_EQ(parse_json("-7").as_double(), -7.0);  // as_double still fine
 }
 
+TEST(JsonParse, AsU64RejectsOverflowingLexemes) {
+  // strtoull saturates to ULLONG_MAX on overflow; before the ERANGE check a
+  // 21-digit lexeme silently loaded as 2^64-1 -- a corrupted counter in a
+  // persisted campaign must fail the load instead.
+  EXPECT_EQ(parse_json("18446744073709551615").as_u64(), 18446744073709551615ull);
+  EXPECT_THROW(parse_json("18446744073709551616").as_u64(), JsonParseError);  // 2^64
+  EXPECT_THROW(parse_json("184467440737095516150").as_u64(), JsonParseError);  // 21 digits
+  EXPECT_THROW(parse_json("99999999999999999999999999").as_u64(), JsonParseError);
+}
+
+TEST(JsonParse, NumbersOverflowingDoubleAreRejected) {
+  // strtod saturates to +-inf on overflow; every arithmetic consumer of
+  // as_double would propagate it silently. parse_number rejects at the gate.
+  EXPECT_THROW(parse_json("1e999"), JsonParseError);
+  EXPECT_THROW(parse_json("-1e999"), JsonParseError);
+  EXPECT_THROW(parse_json("[1, 2e308]"), JsonParseError);
+  // Underflow to zero (or a denormal) is fine -- the value is representable.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_json("1.7e308").as_double(), 1.7e308);
+}
+
 TEST(JsonParse, ProgrammaticConstructionAndSet) {
   JsonValue obj = JsonValue::object();
   obj.set("x", JsonValue::number(1.5));

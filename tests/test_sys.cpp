@@ -180,6 +180,36 @@ TEST(Env, EnvUsizeMatrixUnsetGarbageNegativeOverflow) {
   ASSERT_EQ(unsetenv(kVar), 0);
 }
 
+TEST(Env, ParseFiniteDoubleAcceptsCanonicalDecimals) {
+  EXPECT_DOUBLE_EQ(*parse_finite_double("0"), 0.0);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("0.01"), 0.01);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("2e3"), 2000.0);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("-1.5e-9"), -1.5e-9);
+  EXPECT_DOUBLE_EQ(*parse_finite_double("1.5E+2"), 150.0);
+  EXPECT_DOUBLE_EQ(*parse_finite_double(" 3.25 "), 3.25);  // surrounding ws ok
+  // Underflow to zero is representable, hence accepted.
+  EXPECT_DOUBLE_EQ(*parse_finite_double("1e-999"), 0.0);
+}
+
+TEST(Env, ParseFiniteDoubleRejectsLaxStrtodInputs) {
+  // Everything here parses "successfully" through bare strtod -- which is
+  // exactly why each must be rejected by the strict contract.
+  EXPECT_FALSE(parse_finite_double("0x8").has_value());      // hex float
+  EXPECT_FALSE(parse_finite_double("0x1p3").has_value());
+  EXPECT_FALSE(parse_finite_double("inf").has_value());
+  EXPECT_FALSE(parse_finite_double("nan").has_value());
+  EXPECT_FALSE(parse_finite_double("+5").has_value());       // sign prefix
+  EXPECT_FALSE(parse_finite_double("1e999").has_value());    // overflow to inf
+  EXPECT_FALSE(parse_finite_double("").has_value());
+  EXPECT_FALSE(parse_finite_double("  ").has_value());
+  EXPECT_FALSE(parse_finite_double("1e").has_value());       // partial exponent
+  EXPECT_FALSE(parse_finite_double("1.").has_value());       // bare point
+  EXPECT_FALSE(parse_finite_double(".5").has_value());       // no integer part
+  EXPECT_FALSE(parse_finite_double("1.5x").has_value());     // trailing garbage
+  EXPECT_FALSE(parse_finite_double("1 2").has_value());      // interior ws
+}
+
 TEST(Hash, StableHashIsStable) {
   EXPECT_EQ(stable_hash64("dnnd"), stable_hash64("dnnd"));
   EXPECT_NE(stable_hash64("dnnd"), stable_hash64("dnne"));
@@ -229,6 +259,24 @@ TEST(Table, FmtHelpers) {
   EXPECT_EQ(fmt_count(1234567), "1,234,567");
   EXPECT_EQ(fmt_count(-1000), "-1,000");
   EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Table, FmtCountExtremesAndUnsigned) {
+  // LLONG_MIN has no positive counterpart in long long; the old `-v`
+  // negation was UB. The unsigned-negate fix must format it exactly.
+  EXPECT_EQ(fmt_count(std::numeric_limits<long long>::min()),
+            "-9,223,372,036,854,775,808");
+  EXPECT_EQ(fmt_count(std::numeric_limits<long long>::max()),
+            "9,223,372,036,854,775,807");
+  // u64 values above 2^63 used to truncate through the long long cast at
+  // call sites; the unsigned overload carries them exactly.
+  EXPECT_EQ(fmt_count(std::numeric_limits<unsigned long long>::max()),
+            "18,446,744,073,709,551,615");
+  EXPECT_EQ(fmt_count(u64{10'000'000'000'000'000'000ull}), "10,000,000,000,000,000,000");
+  // Dispatch template: smaller integral types pick their signedness.
+  EXPECT_EQ(fmt_count(u32{4'000'000'000u}), "4,000,000,000");
+  EXPECT_EQ(fmt_count(-1), "-1");
+  EXPECT_EQ(fmt_count(usize{0}), "0");
 }
 
 TEST(Energy, PowerConversionExact) {

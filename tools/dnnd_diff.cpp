@@ -9,16 +9,14 @@
 // Usage:
 //   dnnd_diff [--acc-tol FRAC] [--flip-tol N] [--ignore-missing] [--quiet]
 //             <baseline.json> <current.json>
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "harness/campaign_diff.hpp"
+#include "sys/env.hpp"
 
 namespace {
 
@@ -35,28 +33,28 @@ int usage(const char* argv0) {
   return 2;
 }
 
-/// strtod/strtoll-free option parsing: a garbage tolerance must be a usage
-/// error, not a silent 0 that turns the gate maximally strict (or, with a
-/// partial parse like "1e", arbitrarily loose).
+/// Tolerance parsing on the strict sys::parse_* contract (the same grammar
+/// every DNND_* env knob obeys): a garbage tolerance must be a usage error,
+/// not a silent 0 that turns the gate maximally strict (or, with a partial
+/// parse like "1e", arbitrarily loose). The shared parsers also reject what
+/// bare strtod/strtoll quietly accepted here before -- hex floats ("0x8"
+/// parsed as 8.0), "inf"/"nan" (isfinite caught those), and '+' prefixes.
 bool parse_double_arg(const char* text, double* out) {
-  if (text == nullptr || *text == '\0') return false;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text, &end);
-  // isfinite: "nan" compares false to everything, which would silently
-  // disable the accuracy gate; "inf" would make it infinitely loose.
-  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(v) || v < 0.0) return false;
-  *out = v;
+  if (text == nullptr) return false;
+  const auto v = dnnd::sys::parse_finite_double(text);
+  if (!v.has_value() || *v < 0.0) return false;
+  *out = *v;
   return true;
 }
 
 bool parse_i64_arg(const char* text, long long* out) {
-  if (text == nullptr || *text == '\0') return false;
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0' || v < 0) return false;
-  *out = v;
+  if (text == nullptr) return false;
+  // Non-negative by contract, so the integer grammar is parse_usize's; the
+  // extra bound keeps the value representable in the i64 tolerance field.
+  const auto v = dnnd::sys::parse_usize(text);
+  constexpr auto kMax = static_cast<dnnd::usize>(std::numeric_limits<long long>::max());
+  if (!v.has_value() || *v > kMax) return false;
+  *out = static_cast<long long>(*v);
   return true;
 }
 

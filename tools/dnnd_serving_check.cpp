@@ -1,0 +1,79 @@
+// dnnd_serving_check: gates a bench_serving JSON artifact.
+//
+// Loads the document under the strict serving_report_from_json parser (every
+// field required and typed; a truncated artifact fails loudly) and checks
+// the cross-field invariants: percentile monotonicity (p50 <= p99 <= p999),
+// positive achieved throughput, admission accounting, histogram
+// consistency. With --digest, prints the deterministic projection (digest +
+// counts + accuracies per regime, no wall-clock fields) to stdout -- the CI
+// determinism gate diffs this output across DNND_THREADS values.
+//
+// Exit codes: 0 = valid, 1 = invariant violation, 2 = usage/I/O/parse error.
+//
+// Usage: dnnd_serving_check [--digest] [--quiet] <report.json>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serving/report.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--digest] [--quiet] <report.json>\n", argv0);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool digest = false;
+  bool quiet = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--digest") == 0) {
+      digest = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  dnnd::serving::ServingReport report;
+  try {
+    report = dnnd::serving::serving_report_from_json(read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dnnd_serving_check: %s\n", e.what());
+    return 2;
+  }
+  try {
+    dnnd::serving::validate_serving_report(report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dnnd_serving_check: %s\n", e.what());
+    return 1;
+  }
+  if (digest) {
+    std::printf("%s", dnnd::serving::deterministic_projection(report).c_str());
+  } else if (!quiet) {
+    std::printf("%s: ok (%zu regimes, model %s, %zu threads)\n", path.c_str(),
+                report.regimes.size(), report.model.c_str(), report.threads);
+  }
+  return 0;
+}
