@@ -18,6 +18,11 @@
 //   DNND_NAIVE_GEMM=1        forces Dense/Conv2d onto the retained naive
 //                            kernels (A/B the GEMM engine's wall-clock win;
 //                            results are bitwise identical either way).
+//   DNND_INT8=1              true-integer int8 forward regime (requantized
+//                            outputs; a DIFFERENT numeric regime -- the
+//                            campaign JSON carries an "int8" marker and is
+//                            gated with dnnd_diff --final-only, never
+//                            byte-compared against float baselines).
 //
 // `bench_grid --tiny` (or DNND_GRID=tiny) runs the seconds-fast
 // tiny_test_grid() instead -- the grid behind the committed regression
@@ -36,6 +41,7 @@
 #include "harness/shard.hpp"
 #include "harness/sink.hpp"
 #include "nn/gemm.hpp"
+#include "nn/simd.hpp"
 
 using namespace dnnd;
 
@@ -95,6 +101,10 @@ int main(int argc, char** argv) {
     nn::gemm::set_force_naive(true);
     std::printf("[grid] DNND_NAIVE_GEMM=1: naive reference kernels\n");
   }
+  if (nn::simd::int8_enabled()) {
+    std::printf("[grid] DNND_INT8=1: true-integer forward regime (campaign JSON carries "
+                "the \"int8\" marker; gate with dnnd_diff --final-only)\n");
+  }
 
   const bool small = bench::small_scale();
   const bool sharded = !shard_spec.empty();
@@ -144,8 +154,12 @@ int main(int argc, char** argv) {
   }
 
   campaign.table().print();
-  std::printf("[harness] %zu scenarios on %zu threads in %.1fs\n", campaign.results.size(),
-              campaign.threads_used, campaign.total_seconds);
+  std::printf("[harness] %zu scenarios on %zu threads in %.1fs (%.2f scenarios/s%s)\n",
+              campaign.results.size(), campaign.threads_used, campaign.total_seconds,
+              campaign.total_seconds > 0.0
+                  ? static_cast<double>(campaign.results.size()) / campaign.total_seconds
+                  : 0.0,
+              campaign.int8_regime ? ", int8 regime" : "");
 
   usize failures = 0;
   if (sharded) {

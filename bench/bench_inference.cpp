@@ -21,10 +21,15 @@
 //   DNND_THREADS       GEMM team size (0/unset = hardware concurrency)
 //   DNND_SIMD          0 = force the scalar microkernels
 //   DNND_FMA           1 = fused fast path (divergent rounding allowed)
+//   DNND_INT8          1 = true-integer int8 forward (requantized, NOT
+//                      byte-gated against the float path; the scalar and SIMD
+//                      int8 kernels ARE byte-gated against each other)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "attack/bfa.hpp"
 #include "bench_util.hpp"
@@ -137,13 +142,48 @@ int main() {
                 model->net().layer(k).name().c_str(), probe_us[k], probe_us[k] / full_us);
   }
 
-  // ---- one BFA step on the engine path --------------------------------------
-  // End-to-end cost of the attack inner loop: gradient ranking plus candidate
-  // flip/probe/unflip evaluations, all riding forward_cached/forward_from.
+  // ---- quantized model (int8 regime A/B + one BFA step) ---------------------
   std::vector<u32> y(batch);
   for (usize i = 0; i < batch; ++i) y[i] = static_cast<u32>(i % 10);
   quant::QuantizedModel qm(*model);
   const auto clean_codes = qm.snapshot();
+
+  // ---- true-integer int8 regime ---------------------------------------------
+  // Same quantized model, two forward regimes: the float engine path over the
+  // dequantized weights vs the int8 path (quantized activations x raw codes
+  // into int32 accumulators, requantized once per layer). The regimes are
+  // NEVER byte-gated against each other; the scalar and SIMD int8 kernels ARE
+  // -- integer accumulation is exact, so any byte difference is a kernel bug.
+  qm.calibrate_int8(x);
+  const int saved_int8 = nn::simd::int8_override();
+  nn::simd::set_int8_override(0);
+  const double float_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  nn::simd::set_int8_override(1);
+  const double int8_spc = time_per_call(window, [&] { model->forward_cached(x); });
+  const double float_ips = static_cast<double>(batch) / float_spc;
+  const double int8_ips = static_cast<double>(batch) / int8_spc;
+  const double int8_speedup = float_spc / int8_spc;
+  nn::simd::set_scalar_override(1);
+  const nn::Tensor& int8_scalar_y = model->forward_cached(x);
+  std::vector<float> scalar_logits(int8_scalar_y.data(),
+                                   int8_scalar_y.data() + int8_scalar_y.size());
+  nn::simd::set_scalar_override(0);
+  const nn::Tensor& int8_simd_y = model->forward_cached(x);
+  const bool int8_byte_identical =
+      int8_simd_y.size() == scalar_logits.size() &&
+      std::memcmp(int8_simd_y.data(), scalar_logits.data(),
+                  scalar_logits.size() * sizeof(float)) == 0;
+  nn::simd::set_scalar_override(saved_scalar);
+  nn::simd::set_int8_override(saved_int8);
+  std::printf("[int8] true-integer forward (quantized model, requantized outputs):\n");
+  std::printf("  float  : %8.1f images/s (%.3f ms/batch)\n", float_ips, float_spc * 1e3);
+  std::printf("  int8   : %8.1f images/s (%.2fx over float)\n", int8_ips, int8_speedup);
+  std::printf("  scalar/simd int8 kernels byte-identical: %s\n",
+              int8_byte_identical ? "yes" : "NO");
+
+  // ---- one BFA step on the engine path --------------------------------------
+  // End-to-end cost of the attack inner loop: gradient ranking plus candidate
+  // flip/probe/unflip evaluations, all riding forward_cached/forward_from.
   attack::BfaConfig bcfg;
   bcfg.max_flips = 1;
   // Every iteration searches the same clean model: the restore undoes the
@@ -182,6 +222,9 @@ int main() {
   w.key("simd_images_per_s").value(simd_ips);
   w.key("simd_speedup").value(scalar_spc / simd_spc);
   w.key("fma_images_per_s").value(fma_ips);
+  w.key("int8_images_per_s").value(int8_ips);
+  w.key("int8_speedup").value(int8_speedup);
+  w.key("int8_byte_identical").value(int8_byte_identical);
   w.key("full_forward_us").value(full_us);
   w.key("bfa_step_ms").value(step_engine * 1e3);
   w.key("bfa_step_materialized_ms").value(step_materialized * 1e3);

@@ -1,10 +1,19 @@
 // Micro-benchmarks (google-benchmark) of the primitives: DRAM commands,
 // RowClone, the four-step protection swap, remapping, quantization, and one
 // BFA search step.
+//
+// Results print as the usual google-benchmark console table AND persist as a
+// JSON document through the shared CampaignSink protocol (DNND_JSON_OUT file
+// or DNND_JSON run directory), like every other bench -- so CI can upload the
+// micro-op numbers next to the campaign and inference artifacts.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
 
 #include "attack/bfa.hpp"
 #include "core/swap_engine.hpp"
+#include "harness/sink.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/trainer.hpp"
 #include "rowhammer/hammer_model.hpp"
@@ -162,4 +171,31 @@ BENCHMARK(BM_ForwardPassMlpBatch16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Console table to stdout (the interactive contract), JSON to a string so
+  // the run can persist through the sink like every other bench.
+  benchmark::ConsoleReporter console;
+  std::ostringstream json;
+  benchmark::JSONReporter json_reporter;
+  json_reporter.SetOutputStream(&json);
+  json_reporter.SetErrorStream(&json);
+  benchmark::RunSpecifiedBenchmarks(&console, &json_reporter);
+  benchmark::Shutdown();
+
+  // The sink protocol appends its own trailing newline.
+  std::string doc = json.str();
+  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  std::string destination;
+  switch (dnnd::harness::write_document_from_env(doc, "micro_ops", &destination)) {
+    case dnnd::harness::SinkWriteStatus::kWritten:
+      std::printf("[sink] micro-op JSON -> %s\n", destination.c_str());
+      break;
+    case dnnd::harness::SinkWriteStatus::kFailed:
+      return 1;
+    case dnnd::harness::SinkWriteStatus::kNoSink:
+      break;
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "attack/adaptive_attack.hpp"
 
+#include "nn/simd.hpp"
+
 namespace dnnd::attack {
 
 AdaptiveWhiteBoxAttack::AdaptiveWhiteBoxAttack(quant::QuantizedModel& qm, nn::Tensor attack_x,
@@ -11,7 +13,12 @@ AdaptiveWhiteBoxAttack::AdaptiveWhiteBoxAttack(quant::QuantizedModel& qm, nn::Te
       attack_y_(std::move(attack_y)),
       eval_x_(std::move(eval_x)),
       eval_y_(std::move(eval_y)),
-      cfg_(cfg) {}
+      cfg_(cfg) {
+  // Freeze int8 activation scales over both batches the attack forwards on
+  // (no-op in the float regime; scales only widen with extra batches).
+  qm_.ensure_int8_calibrated(attack_x_);
+  if (nn::simd::int8_enabled()) qm_.calibrate_int8(eval_x_);
+}
 
 AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secured) {
   AdaptiveAttackResult result;

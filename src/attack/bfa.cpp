@@ -11,6 +11,10 @@ ProgressiveBitSearch::ProgressiveBitSearch(quant::QuantizedModel& qm, nn::Tensor
   u32 max_label = 0;
   for (u32 y : attack_y_) max_label = std::max(max_label, y);
   num_classes_ = max_label + 1;
+  // True-integer regime: every probe forward in run()/step() goes through the
+  // int8 path, so the activation scales must be frozen before the first
+  // measurement. No-op in the default float regime.
+  qm_.ensure_int8_calibrated(attack_x_);
 }
 
 double ProgressiveBitSearch::stop_threshold() const {

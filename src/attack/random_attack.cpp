@@ -23,6 +23,7 @@ quant::BitLocation RandomBitAttack::flip_one(const quant::BitSkipSet& skip) {
 RandomAttackResult RandomBitAttack::run(usize n_flips, const nn::Tensor& x,
                                         const std::vector<u32>& y, usize measure_every) {
   RandomAttackResult result;
+  qm_.ensure_int8_calibrated(x);  // no-op in the default float regime
   // Every measurement is on the same batch: after the first full forward,
   // each one re-runs only the layers below the earliest flip since the last
   // measurement (byte-identical to a full evaluate_batch).

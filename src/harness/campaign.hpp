@@ -68,6 +68,11 @@ struct CampaignResult {
   std::vector<ScenarioResult> results;  ///< same order as the input scenarios
   usize threads_used = 1;
   double total_seconds = 0.0;
+  /// True when the campaign ran under the true-integer forward regime
+  /// (DNND_INT8=1). Serialized as an "int8" marker ONLY when set, so
+  /// default-regime documents -- and their byte-compare gates -- are
+  /// unchanged.
+  bool int8_regime = false;
 
   /// Generic campaign table (deterministic).
   [[nodiscard]] sys::Table table() const;

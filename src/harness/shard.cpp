@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/simd.hpp"
 #include "sys/json.hpp"
 #include "sys/rng.hpp"
 
@@ -190,7 +191,12 @@ MergedCampaign merge_cells(const CellCheckpointStore& store,
   }
 
   MergedCampaign merged;
-  merged.json = "{\"scenarios\":[" + body + "]}";
+  // The regime marker mirrors CampaignResult::to_json: emitted only under
+  // DNND_INT8=1 so default-regime merged documents byte-match the unsharded
+  // run (the CI `cmp` gate).
+  const std::string head =
+      nn::simd::int8_enabled() ? "{\"int8\":true,\"scenarios\":[" : "{\"scenarios\":[";
+  merged.json = head + body + "]}";
   merged.campaign = campaign_from_json(merged.json);
   return merged;
 }

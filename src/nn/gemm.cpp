@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "nn/simd.hpp"
@@ -104,6 +105,47 @@ void kernel(const simd::Kernels& simd_kernels, usize M, usize N, usize K, const 
   }
 }
 
+/// The serial int8 kernel body, mirroring kernel(): int32 accumulators start
+/// at zero (exact integer math needs no bias seed) and the epilogue
+/// requantizes each output back to float, adding the bias term last so the
+/// bias is never rounded through the integer domain. `A` is the quad-major
+/// packed A panel (already offset to this call's first row); `astride` is
+/// the full panel's quad pitch (4 * total rows), which row-partitioned
+/// sub-calls inherit unchanged.
+void kernel_int8(const simd::I8Kernels& ik, usize M, usize N, usize K, const i8* A,
+                 usize astride, const i8* packed_b, float* C, usize crs, usize ccs,
+                 const float* bias, Bias bias_kind, float requant) {
+  const usize KQ = padded_k_int8(K) / 4;
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    const usize rows = std::min(kNr, N - n0);
+    const i8* panel = packed_b + n0 * padded_k_int8(K);
+    for (usize m0 = 0; m0 < M; m0 += kMc) {
+      const usize m1 = std::min(M, m0 + kMc);
+      usize m = m0;
+      for (; m + kMr <= m1; m += kMr) {
+        i32 acc[kMr][kNr] = {};
+        ik.tile8(KQ, A + m * 4, astride, panel, &acc[0][0]);
+        for (usize i = 0; i < kMr; ++i) {
+          float* c = C + (m + i) * crs + n0 * ccs;
+          for (usize r = 0; r < rows; ++r) {
+            c[r * ccs] =
+                static_cast<float>(acc[i][r]) * requant + bias_for(bias, bias_kind, n0 + r);
+          }
+        }
+      }
+      for (; m < m1; ++m) {
+        i32 acc[kNr] = {};
+        ik.row1(KQ, A + m * 4, astride, panel, acc);
+        float* c = C + m * crs + n0 * ccs;
+        for (usize r = 0; r < rows; ++r) {
+          c[r * ccs] =
+              static_cast<float>(acc[r]) * requant + bias_for(bias, bias_kind, n0 + r);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void set_force_naive(bool on) { g_force_naive.store(on, std::memory_order_relaxed); }
@@ -188,6 +230,92 @@ void gemm_nt_prepacked(usize M, usize N, usize K, const float* A, usize lda,
       const usize n_lo = p_lo * kNr, n_hi = std::min(N, p_hi * kNr);
       kernel(simd_kernels, M, n_hi - n_lo, K, A, lda, packed_b + n_lo * K, C + n_lo * ccs,
              crs, ccs, bias_kind == Bias::kPerCol ? bias + n_lo : bias, bias_kind);
+    });
+  }
+}
+
+usize padded_k_int8(usize K) { return (K + 3) & ~usize{3}; }
+
+usize packed_b_int8_size(usize N, usize K) {
+  return ((N + kNr - 1) / kNr) * kNr * padded_k_int8(K);
+}
+
+usize packed_q8_index(usize n, usize k, usize K) {
+  const usize K4 = padded_k_int8(K);
+  return (n / kNr) * kNr * K4 + (k / 4) * (kNr * 4) + (n % kNr) * 4 + k % 4;
+}
+
+void pack_b_q8(const i8* q, usize N, usize K, i8* packed) {
+  const usize K4 = padded_k_int8(K);
+  for (usize n0 = 0; n0 < N; n0 += kNr) {
+    const usize rows = std::min(kNr, N - n0);
+    i8* panel = packed + n0 * K4;
+    for (usize k4 = 0; k4 < K4; k4 += 4) {
+      i8* line = panel + k4 * kNr;
+      for (usize r = 0; r < kNr; ++r) {
+        for (usize o = 0; o < 4; ++o) {
+          const usize k = k4 + o;
+          line[r * 4 + o] = (r < rows && k < K) ? q[(n0 + r) * K + k] : i8{0};
+        }
+      }
+    }
+  }
+}
+
+float activation_scale(const float* A, usize M, usize K, usize lda) {
+  float amax = 0.0f;
+  for (usize m = 0; m < M; ++m) {
+    const float* row = A + m * lda;
+    for (usize k = 0; k < K; ++k) amax = std::max(amax, std::fabs(row[k]));
+  }
+  return amax > 0.0f ? amax / 127.0f : 1.0f;
+}
+
+usize packed_a_q8_index(usize m, usize k, usize M) { return (k / 4) * M * 4 + m * 4 + k % 4; }
+
+void quantize_activations(const float* A, usize M, usize K, usize lda, float scale,
+                          i8* out) {
+  // Round-to-nearest, ties away from zero (the weight quantizer's rounding),
+  // clamped to [-127, 127], written straight into the quad-major A panel --
+  // vectorized, byte-identical between the scalar and AVX2 variants
+  // (see simd.hpp).
+  simd::quantize_panel_i8(A, M, K, lda, 1.0f / scale, out);
+}
+
+void gemm_nt_int8(usize M, usize N, usize K, const i8* A, const i8* packed_b, float* C,
+                  usize crs, usize ccs, const float* bias, Bias bias_kind, float requant) {
+  if (M == 0 || N == 0) return;
+  const usize K4 = padded_k_int8(K);
+  const usize astride = M * 4;  ///< quad pitch of the full A panel
+  const usize row_tiles = (M + kMr - 1) / kMr;
+  const usize panels = (N + kNr - 1) / kNr;
+  const usize teams = plan_teams(std::max(row_tiles, panels), M * N * K);
+  const simd::I8Kernels ik = simd::active_int8_kernels();
+  if (teams <= 1) {
+    kernel_int8(ik, M, N, K, A, astride, packed_b, C, crs, ccs, bias, bias_kind, requant);
+    return;
+  }
+  // Same output partitioning as gemm_nt_prepacked. With exact int32
+  // accumulators even the order argument is unnecessary: any split of the
+  // outputs yields identical bytes.
+  if (row_tiles >= teams) {
+    ThreadPool::instance().parallel(teams, [&](usize slot, usize nslots) {
+      const usize chunk = (row_tiles + nslots - 1) / nslots * kMr;
+      const usize lo = std::min(M, slot * chunk), hi = std::min(M, lo + chunk);
+      if (lo < hi) {
+        kernel_int8(ik, hi - lo, N, K, A + lo * 4, astride, packed_b, C + lo * crs, crs,
+                    ccs, bias, bias_kind, requant);
+      }
+    });
+  } else {
+    ThreadPool::instance().parallel(std::min(teams, panels), [&](usize slot, usize nslots) {
+      const usize chunk = (panels + nslots - 1) / nslots;
+      const usize p_lo = std::min(panels, slot * chunk), p_hi = std::min(panels, p_lo + chunk);
+      if (p_lo >= p_hi) return;
+      const usize n_lo = p_lo * kNr, n_hi = std::min(N, p_hi * kNr);
+      kernel_int8(ik, M, n_hi - n_lo, K, A, astride, packed_b + n_lo * K4, C + n_lo * ccs,
+                  crs, ccs, bias_kind == Bias::kPerCol ? bias + n_lo : bias, bias_kind,
+                  requant);
     });
   }
 }

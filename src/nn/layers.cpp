@@ -8,6 +8,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/reference.hpp"
+#include "nn/simd.hpp"
 #include "nn/thread_pool.hpp"
 
 namespace dnnd::nn {
@@ -111,10 +112,22 @@ Dense::Dense(usize in_features, usize out_features, sys::Rng& rng)
 void Dense::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& ws) {
   assert(x.rank() == 2 && x.dim(1) == in_);
   x_cache_ = x;
+  record_act(x);
   const usize n = x.dim(0);
   y.resize({n, out_});
   if (gemm::force_naive()) {
     reference::dense_forward(x, weight, bias, y);
+    return;
+  }
+  // True-integer regime: quantize the input rows and run the int8 GEMM over
+  // the raw weight codes -- no dequantized floats anywhere on the path.
+  if (const Int8Pack& ip = int8_pack(); ip.panel != nullptr && simd::int8_enabled()) {
+    const float sa =
+        ip.act_scale > 0.0f ? ip.act_scale : gemm::activation_scale(x.data(), n, in_, in_);
+    i8* qa = ws.qa_buffer(n * gemm::padded_k_int8(in_));
+    gemm::quantize_activations(x.data(), n, in_, in_, sa, qa);
+    gemm::gemm_nt_int8(n, out_, in_, qa, ip.panel, y.data(), out_, 1, bias.data(),
+                       gemm::Bias::kPerCol, sa * ip.weight_scale);
     return;
   }
   // y = x W^T + b: both operands K-major, bias per output feature (column).
@@ -206,9 +219,93 @@ void Conv2d::im2col_range(const Tensor& x, usize b, const ConvGeom& g, usize p_l
   }
 }
 
+void Conv2d::gather_taps_i8(const i8* xq, const ConvGeom& g, i8* T) const {
+  const usize K = g.patch_size();
+  const usize P = g.oh * g.ow;
+  // Small-image fast path (every conv in the zoo): copy each channel into a
+  // zero-bordered padded plane once, after which EVERY (tap, output-row)
+  // span is one unconditional 16-byte load/store -- no bounds branches and
+  // no per-span libc calls, which otherwise dominate (taps * oh tiny
+  // memcpy/memset calls per sample). The 16-byte stores overrun each ow-span
+  // into bytes that ascending (oi, then k) iteration rewrites immediately
+  // after; only the very last store runs past row K-1, into the quad-pad
+  // rows (re-zeroed below) or the caller-provided 15-byte slack.
+  constexpr usize kPaddedCap = 8192;
+  const usize ph = g.h + 2 * g.pad, pw = g.w + 2 * g.pad;
+  if (g.stride == 1 && g.ow <= 16 && g.in_ch * ph * pw + 16 <= kPaddedCap) {
+    alignas(16) i8 pp[kPaddedCap];
+    std::memset(pp, 0, g.in_ch * ph * pw);
+    for (usize ic = 0; ic < g.in_ch; ++ic) {
+      for (usize i = 0; i < g.h; ++i) {
+        std::memcpy(pp + (ic * ph + i + g.pad) * pw + g.pad, xq + (ic * g.h + i) * g.w,
+                    g.w);
+      }
+    }
+    usize k = 0;
+    for (usize ic = 0; ic < g.in_ch; ++ic) {
+      const i8* base = pp + ic * ph * pw;
+      for (usize ki = 0; ki < k_; ++ki) {
+        for (usize kj = 0; kj < k_; ++kj, ++k) {
+          // Padded coords: input row oi+ki, column offset kj (stride 1).
+          const i8* src = base + ki * pw + kj;
+          i8* row = T + k * P;
+          for (usize oi = 0; oi < g.oh; ++oi) {
+            __builtin_memcpy(row + oi * g.ow, src + oi * pw, 16);
+          }
+        }
+      }
+    }
+    const usize K4 = gemm::padded_k_int8(K);
+    if (K4 > K) std::memset(T + K * P, 0, (K4 - K) * P);
+    return;
+  }
+  usize k = 0;
+  for (usize ic = 0; ic < g.in_ch; ++ic) {
+    const i8* plane = xq + ic * g.h * g.w;
+    for (usize ki = 0; ki < k_; ++ki) {
+      for (usize kj = 0; kj < k_; ++kj, ++k) {
+        i8* row = T + k * P;
+        for (usize oi = 0; oi < g.oh; ++oi) {
+          i8* dst = row + oi * g.ow;
+          const isize hi =
+              static_cast<isize>(oi * g.stride + ki) - static_cast<isize>(g.pad);
+          if (hi < 0 || hi >= static_cast<isize>(g.h)) {
+            std::memset(dst, 0, g.ow);
+            continue;
+          }
+          const i8* src_row = plane + static_cast<usize>(hi) * g.w;
+          if (g.stride == 1) {
+            // wj = oj + kj - pad sweeps a contiguous input span: one memcpy
+            // per output row, zero-filled where it hangs over the padding.
+            const isize wj0 = static_cast<isize>(kj) - static_cast<isize>(g.pad);
+            const usize lo = wj0 < 0 ? static_cast<usize>(-wj0) : 0;
+            const isize span_end = static_cast<isize>(g.w) - wj0;
+            usize hi_oj = span_end < 0 ? 0
+                                       : std::min(static_cast<usize>(span_end), g.ow);
+            if (hi_oj < lo) hi_oj = lo;
+            std::memset(dst, 0, lo);
+            std::memcpy(dst + lo, src_row + wj0 + static_cast<isize>(lo), hi_oj - lo);
+            std::memset(dst + hi_oj, 0, g.ow - hi_oj);
+          } else {
+            for (usize oj = 0; oj < g.ow; ++oj) {
+              const isize wj =
+                  static_cast<isize>(oj * g.stride + kj) - static_cast<isize>(g.pad);
+              dst[oj] =
+                  (wj >= 0 && wj < static_cast<isize>(g.w)) ? src_row[wj] : i8{0};
+            }
+          }
+        }
+      }
+    }
+  }
+  const usize K4 = gemm::padded_k_int8(K);
+  if (K4 > K) std::memset(T + K * P, 0, (K4 - K) * P);
+}
+
 void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace& ws) {
   assert(x.rank() == 4 && x.dim(1) == in_ch_);
   x_cache_ = x;
+  record_act(x);
   const usize n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const usize oh = out_size(h), ow = out_size(w);
   y.resize({n, out_ch_, oh, ow});
@@ -225,17 +322,69 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace&
   // accumulator, and the accumulator can only be -0.0 if the bias is).
   const ConvGeom g = geom(h, w);
   const usize K = g.patch_size(), P = oh * ow;
+  // True-integer regime: the sample's input slice is quantized ONCE (it is
+  // a few hundred values; the col buffer repeats each up to k*k times), then
+  // the tap-major code gather streams each tap's output plane as contiguous
+  // byte spans and interleave_quads_i8 zips four taps at a time into the
+  // GEMM's quad-major A panel -- byte-identical to quantizing a float
+  // im2col, at a quarter of the gather traffic and none of the per-patch
+  // scatter or rounding. The calibrated scale covers the patches (every
+  // entry is an input value or an exact padding zero); the uncalibrated
+  // fallback derives a per-sample scale from the input slice, which depends
+  // only on that sample -- deterministic at any batch or patch split.
+  const Int8Pack int8 = int8_pack();
+  const bool use_int8 = int8.panel != nullptr && simd::int8_enabled();
+  const usize teams = gemm::plan_teams(n, n * P * K * out_ch_);
+  if (use_int8) {
+    const usize K4 = gemm::padded_k_int8(K);
+    const usize chw = in_ch_ * h * w;
+    // qa holds the quad-major A panel [0, P*K4) and the tap-major gather
+    // staging T [P*K4, 2*P*K4), plus the gather's 16-byte store slack.
+    auto int8_sample = [&](usize b, i8* qx, i8* qa) {
+      const float* xb = x.data() + b * chw;
+      const float sa =
+          int8.act_scale > 0.0f ? int8.act_scale : gemm::activation_scale(xb, 1, chw, chw);
+      gemm::quantize_activations(xb, 1, chw, chw, sa, qx);
+      i8* T = qa + P * K4;
+      gather_taps_i8(qx, g, T);
+      simd::interleave_quads_i8(T, P, K4 / 4, qa);
+      gemm::gemm_nt_int8(P, out_ch_, K, qa, int8.panel, y.data() + b * out_ch_ * P, 1, P,
+                         bias.data(), gemm::Bias::kPerCol, sa * int8.weight_scale);
+    };
+    if (teams > 1) {
+      ws.reserve_team(teams);
+      ThreadPool::instance().parallel(teams, [&](usize slot, usize nslots) {
+        const usize chunk = (n + nslots - 1) / nslots;
+        const usize lo = std::min(n, slot * chunk), hi = std::min(n, lo + chunk);
+        if (lo >= hi) return;
+        i8* qx = ws.qx_buffer(gemm::padded_k_int8(chw), slot);
+        i8* qa = ws.qa_buffer(2 * P * K4 + 16, slot);
+        for (usize b = lo; b < hi; ++b) int8_sample(b, qx, qa);
+      });
+      return;
+    }
+    // Single-probe batches run the per-sample GEMM's internal threading
+    // instead; the quantize + gather ahead of it are byte-bound and cheap.
+    i8* qx = ws.qx_buffer(gemm::padded_k_int8(chw));
+    i8* qa = ws.qa_buffer(2 * P * K4 + 16);
+    for (usize b = 0; b < n; ++b) int8_sample(b, qx, qa);
+    return;
+  }
   const float* packed_w = packed_weight();
   if (packed_w == nullptr) {
     float* fresh = ws.pack_buffer(gemm::packed_b_size(out_ch_, K));
     gemm::pack_b(weight.data(), K, out_ch_, K, fresh);  // once, not per sample
     packed_w = fresh;
   }
+  // One sample's lowered GEMM over an already-gathered col buffer.
+  auto gemm_sample = [&](usize b, const float* col) {
+    gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P, 1,
+                            P, bias.data(), gemm::Bias::kPerCol);
+  };
   // Samples are independent GEMMs over disjoint output slices: partition the
   // batch into contiguous chunks across the team (per-slot col buffers), and
   // let the per-sample GEMM parallelise internally instead when the batch is
   // a single sample. Either split is bit-transparent.
-  const usize teams = gemm::plan_teams(n, n * P * K * out_ch_);
   if (teams > 1) {
     ws.reserve_team(teams);
     ThreadPool::instance().parallel(teams, [&](usize slot, usize nslots) {
@@ -245,8 +394,7 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace&
       float* col = ws.col_buffer(P * K, slot);
       for (usize b = lo; b < hi; ++b) {
         im2col(x, b, g, col);
-        gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P,
-                                1, P, bias.data(), gemm::Bias::kPerCol);
+        gemm_sample(b, col);
       }
     });
     return;
@@ -269,8 +417,7 @@ void Conv2d::forward_into(const Tensor& x, Tensor& y, bool /*train*/, Workspace&
     } else {
       im2col(x, b, g, col);
     }
-    gemm::gemm_nt_prepacked(P, out_ch_, K, col, K, packed_w, y.data() + b * out_ch_ * P, 1, P,
-                            bias.data(), gemm::Bias::kPerCol);
+    gemm_sample(b, col);
   }
 }
 

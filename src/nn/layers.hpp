@@ -84,14 +84,47 @@ class Layer {
   }
   /// Guard hook for code that mutates parameter tensors directly instead of
   /// through quant::QuantizedModel (Model::load_state, the optimizer): drops
-  /// any attached panel so forward falls back to reading the float weights
-  /// -- slower but never stale. QuantizedModel::set_fused(true) re-attaches.
-  void drop_packed_weight() { resident_pack_ = nullptr; }
+  /// any attached panel (float and int8) so forward falls back to reading the
+  /// float weights -- slower but never stale. QuantizedModel::set_fused(true)
+  /// re-attaches.
+  void drop_packed_weight() {
+    resident_pack_ = nullptr;
+    int8_pack_ = {};
+  }
   [[nodiscard]] const float* packed_weight() const { return resident_pack_; }
+
+  /// True-integer int8 residency (the DNND_INT8 regime): raw weight codes in
+  /// gemm::pack_b_q8 layout plus the symmetric scales needed to requantize.
+  /// act_scale == 0 means "uncalibrated": forward derives a per-call scale
+  /// from the live input instead (deterministic, but costs an extra pass and
+  /// floats the quantization grid per batch).
+  struct Int8Pack {
+    const i8* panel = nullptr;
+    float weight_scale = 1.0f;
+    float act_scale = 0.0f;
+  };
+  void attach_int8_pack(const Int8Pack& pack) { int8_pack_ = pack; }
+  void detach_int8_pack(const i8* panel) {
+    if (int8_pack_.panel == panel) int8_pack_ = {};
+  }
+  [[nodiscard]] const Int8Pack& int8_pack() const { return int8_pack_; }
+
+  /// Activation-calibration probe: while set, every Dense/Conv2d forward
+  /// folds max|input| into *sink. QuantizedModel::calibrate_int8 points it at
+  /// the per-layer amax accumulator for one recording pass, then clears it.
+  void set_act_probe(float* sink) { act_probe_ = sink; }
+
+ protected:
+  /// Called by quantizable layers at the top of forward_into.
+  void record_act(const Tensor& x) {
+    if (act_probe_ != nullptr) *act_probe_ = std::max(*act_probe_, x.abs_max());
+  }
 
  private:
   std::unique_ptr<Workspace> legacy_ws_;  ///< lazily created for the wrappers
   const float* resident_pack_ = nullptr;
+  Int8Pack int8_pack_;
+  float* act_probe_ = nullptr;
 };
 
 /// Fully-connected layer: y = x W^T + b, W: {out, in}.
@@ -147,6 +180,20 @@ class Conv2d final : public Layer {
   /// across a pool team into one shared buffer, byte-identically.
   void im2col_range(const Tensor& x, usize b, const ConvGeom& g, usize p_lo, usize p_hi,
                     float* col) const;
+  /// Int8 gather over a pre-quantized input slice `xq` (the sample's
+  /// in_ch*h*w codes), TAP-major: T row k (flat tap (ic, ki, kj)) holds that
+  /// tap's code for every output pixel p -- for stride 1 each T row is just
+  /// a shifted copy of input rows, so the gather runs as oh memcpys of
+  /// ow-byte spans per tap instead of P per-patch scatter lambdas. Rows
+  /// K..padded_k_int8(K) are zeroed; simd::interleave_quads_i8 then zips T
+  /// into the GEMM's quad-major A panel. Gathering codes commutes exactly
+  /// with quantizing gathered floats -- every patch entry is an input value
+  /// (same code either way) or an exact padding zero (code 0) -- so the
+  /// pipeline is byte-identical to quantizing a float im2col. `T` must have
+  /// 16 bytes of slack past padded_k_int8(K) * oh * ow: the small-image fast
+  /// path writes whole 16-byte lanes whose tails are rewritten by later rows
+  /// (the final one lands in the slack).
+  void gather_taps_i8(const i8* xq, const ConvGeom& g, i8* T) const;
 
   usize in_ch_, out_ch_, k_, stride_, pad_;
   Tensor x_cache_;

@@ -36,7 +36,7 @@ class Workspace {
   /// scratch under the same indices without collisions.
   enum class SlotKind : u32 { kActivation = 0, kGradient = 1, kScratch = 2 };
 
-  Workspace() : col_(1), pack_(1) {}
+  Workspace() : col_(1), pack_(1), qa_(1), qx_(1) {}
 
   /// The (lazily created) tensor slot for (owner, kind, idx). References stay
   /// valid for the workspace lifetime (node-based map). NOT safe to call from
@@ -57,6 +57,16 @@ class Workspace {
   /// buffer because both are live during a lowered convolution.
   float* pack_buffer(usize n, usize team_slot = 0) { return grow(pack_[team_slot], n); }
 
+  /// Quantized-activation buffer of at least `n` int8 codes (the int8 GEMM's
+  /// A operand); same per-team-slot discipline as col_buffer.
+  i8* qa_buffer(usize n, usize team_slot = 0) { return grow(qa_[team_slot], n); }
+
+  /// Quantized-input buffer of at least `n` int8 codes: one conv sample's
+  /// input slice, quantized once, from which the int8 im2col gathers codes
+  /// directly. Live alongside qa_buffer (which receives the gathered
+  /// patches), hence a separate table.
+  i8* qx_buffer(usize n, usize team_slot = 0) { return grow(qx_[team_slot], n); }
+
   /// Arena growth events so far (slot creations and buffer grows). Constant
   /// across steady-state iterations == no new arena structures. Pair with
   /// slot_capacity() -- which sees reallocation of the slot tensors'
@@ -65,11 +75,14 @@ class Workspace {
     return alloc_events_.load(std::memory_order_relaxed);
   }
 
-  /// Total allocated floats across slot tensors and the col/pack buffers.
+  /// Total allocated floats across slot tensors and the col/pack/qa buffers
+  /// (int8 bytes counted as quarter-floats, rounded up).
   [[nodiscard]] usize slot_capacity() const {
     usize total = 0;
     for (const auto& b : col_) total += b.capacity();
     for (const auto& b : pack_) total += b.capacity();
+    for (const auto& b : qa_) total += (b.capacity() + 3) / 4;
+    for (const auto& b : qx_) total += (b.capacity() + 3) / 4;
     for (const auto& [key, t] : slots_) total += t.capacity();
     return total;
   }
@@ -91,7 +104,8 @@ class Workspace {
     }
   };
 
-  float* grow(std::vector<float>& buf, usize n) {
+  template <typename T>
+  T* grow(std::vector<T>& buf, usize n) {
     if (buf.size() < n) {
       buf.resize(n);
       alloc_events_.fetch_add(1, std::memory_order_relaxed);
@@ -102,6 +116,8 @@ class Workspace {
   std::unordered_map<Key, Tensor, KeyHash> slots_;
   std::vector<std::vector<float>> col_;   ///< indexed by team slot
   std::vector<std::vector<float>> pack_;  ///< indexed by team slot
+  std::vector<std::vector<i8>> qa_;       ///< indexed by team slot
+  std::vector<std::vector<i8>> qx_;       ///< indexed by team slot
   std::atomic<usize> alloc_events_{0};
 };
 

@@ -4,10 +4,29 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "nn/gemm.hpp"
+#include "nn/simd.hpp"
 
 namespace dnnd::quant {
+
+namespace detail {
+
+void validate_bit_key_bounds(usize layer_count, usize max_layer_size) {
+  if (layer_count > kMaxKeyLayers) {
+    throw std::length_error("BitLocation::key(): " + std::to_string(layer_count) +
+                            " quantized layers exceeds the 2^20 layer-index field");
+  }
+  if (max_layer_size > kMaxKeyIndex) {
+    throw std::length_error("BitLocation::key(): layer of " +
+                            std::to_string(max_layer_size) +
+                            " weights exceeds the 2^41 weight-index field");
+  }
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -39,6 +58,9 @@ QuantizedModel::QuantizedModel(nn::Model& model) : model_(model) {
     ql.pack_cols = ql.q.size() / ql.pack_rows;
     layers_.push_back(std::move(ql));
   }
+  usize max_layer_size = 0;
+  for (const auto& l : layers_) max_layer_size = std::max(max_layer_size, l.size());
+  detail::validate_bit_key_bounds(layers_.size(), max_layer_size);
   materialize();
   for (auto& l : layers_) attach_pack(l, true);
 }
@@ -50,14 +72,18 @@ QuantizedModel::~QuantizedModel() {
 void QuantizedModel::build_pack(QuantizedLayer& l) {
   l.packed.resize(nn::gemm::packed_b_size(l.pack_rows, l.pack_cols));
   nn::gemm::pack_b_int8(l.q.data(), l.pack_rows, l.pack_cols, l.scale, l.packed.data());
+  l.packed_q.resize(nn::gemm::packed_b_int8_size(l.pack_rows, l.pack_cols));
+  nn::gemm::pack_b_q8(l.q.data(), l.pack_rows, l.pack_cols, l.packed_q.data());
 }
 
 void QuantizedModel::attach_pack(QuantizedLayer& l, bool on) {
   if (l.owner == nullptr) return;
   if (on) {
     l.owner->attach_packed_weight(l.packed.data());
+    l.owner->attach_int8_pack({l.packed_q.data(), l.scale, l.act_scale});
   } else {
     l.owner->detach_packed_weight(l.packed.data());
+    l.owner->detach_int8_pack(l.packed_q.data());
   }
 }
 
@@ -93,6 +119,8 @@ void QuantizedModel::flip(const BitLocation& loc) {
   (*l.value)[loc.index] = dequant(code, l.scale);
   l.packed[nn::gemm::packed_index(loc.index / l.pack_cols, loc.index % l.pack_cols,
                                   l.pack_cols)] = dequant(code, l.scale);
+  l.packed_q[nn::gemm::packed_q8_index(loc.index / l.pack_cols, loc.index % l.pack_cols,
+                                       l.pack_cols)] = code;
   // Keep the incremental-forward cache honest: activations computed from the
   // pre-flip weight are stale from this layer on.
   model_.invalidate_from(l.net_layer);
@@ -109,6 +137,8 @@ void QuantizedModel::set_q(usize layer, usize index, i8 code) {
   (*l.value)[index] = dequant(code, l.scale);
   l.packed[nn::gemm::packed_index(index / l.pack_cols, index % l.pack_cols, l.pack_cols)] =
       dequant(code, l.scale);
+  l.packed_q[nn::gemm::packed_q8_index(index / l.pack_cols, index % l.pack_cols,
+                                       l.pack_cols)] = code;
   model_.invalidate_from(l.net_layer);
 }
 
@@ -127,6 +157,45 @@ void QuantizedModel::restore(const std::vector<std::vector<i8>>& snap) {
       set_q(i, j, snap[i][j]);  // no-op (no invalidation) for unchanged codes
     }
   }
+}
+
+void QuantizedModel::calibrate_int8(const nn::Tensor& x) {
+  // One recording pass: point each quantizable layer's activation probe at
+  // its amax accumulator and run a FLOAT forward (the int8 override is forced
+  // off so the scales come from reference numerics, not from a
+  // partially-calibrated integer pass). Probes are cleared and the override
+  // restored even if the forward throws.
+  for (auto& l : layers_) {
+    if (l.owner != nullptr) l.owner->set_act_probe(&l.act_amax);
+  }
+  const int saved = nn::simd::int8_override();
+  nn::simd::set_int8_override(0);
+  try {
+    model_.forward_cached(x);
+  } catch (...) {
+    nn::simd::set_int8_override(saved);
+    for (auto& l : layers_) {
+      if (l.owner != nullptr) l.owner->set_act_probe(nullptr);
+    }
+    throw;
+  }
+  nn::simd::set_int8_override(saved);
+  for (auto& l : layers_) {
+    if (l.owner != nullptr) l.owner->set_act_probe(nullptr);
+    l.act_scale = l.act_amax > 0.0f ? l.act_amax / 127.0f : 1.0f;
+  }
+  // Re-attach so the owners see the frozen act_scale (attach is idempotent).
+  if (fused_) {
+    for (auto& l : layers_) attach_pack(l, true);
+  }
+  // The recorded activation cache is float-path output; an integer forward
+  // must not splice onto it via forward_from.
+  model_.invalidate_from(0);
+  int8_calibrated_ = true;
+}
+
+void QuantizedModel::ensure_int8_calibrated(const nn::Tensor& x) {
+  if (nn::simd::int8_enabled() && !int8_calibrated_) calibrate_int8(x);
 }
 
 u64 QuantizedModel::hamming_distance(const std::vector<std::vector<i8>>& snap) const {

@@ -46,6 +46,20 @@ struct BitLocation {
   }
 };
 
+namespace detail {
+
+/// BitLocation::key() packing limits: 20 bits of layer index, 41 of weight
+/// index. Exceeding either would silently alias distinct bits under one key.
+inline constexpr usize kMaxKeyLayers = usize{1} << 20;
+inline constexpr usize kMaxKeyIndex = usize{1} << 41;
+
+/// Throws std::length_error if a model of `layer_count` quantized layers with
+/// largest layer `max_layer_size` weights could alias under key(). Checked at
+/// QuantizedModel construction so every BitLocation minted later is packable.
+void validate_bit_key_bounds(usize layer_count, usize max_layer_size);
+
+}  // namespace detail
+
 /// One quantized weight tensor.
 struct QuantizedLayer {
   std::string name;        ///< hierarchical parameter name
@@ -67,6 +81,14 @@ struct QuantizedLayer {
   std::vector<float> packed;
   usize pack_rows = 0;  ///< N: weight.dim(0) (out features / out channels)
   usize pack_cols = 0;  ///< K: weights per output (in features / in_ch*k*k)
+
+  /// True-integer residency (the DNND_INT8 regime): the raw codes in
+  /// gemm::pack_b_q8 panel layout. Maintained in lockstep with `packed` -- a
+  /// bit flip updates ONE byte here, so the incremental forward_from(k) probe
+  /// contract holds in the integer regime too.
+  std::vector<i8> packed_q;
+  float act_scale = 0.0f;  ///< calibrated activation scale (0 = uncalibrated)
+  float act_amax = 0.0f;   ///< running input abs-max across calibration passes
 
   [[nodiscard]] usize size() const { return q.size(); }
 };
@@ -135,6 +157,20 @@ class QuantizedModel {
   /// Hamming distance of current codes to a snapshot (total flipped bits).
   [[nodiscard]] u64 hamming_distance(const std::vector<std::vector<i8>>& snap) const;
 
+  /// Freezes static activation scales for the true-integer regime from one
+  /// recording pass: a FLOAT forward over `x` (the int8 override is forced
+  /// off for the pass) folds each quantizable layer's input abs-max into its
+  /// accumulator, then act_scale = amax / 127. Accumulates across calls, so
+  /// calibrating on several representative batches only widens the range.
+  /// Invalidates the forward cache (the recorded activations are float-path).
+  void calibrate_int8(const nn::Tensor& x);
+
+  /// calibrate_int8(x) once per model, and only when the integer regime is
+  /// actually enabled -- a no-op in the default float regime, so wiring this
+  /// into attacker constructors cannot perturb the byte-gated paths.
+  void ensure_int8_calibrated(const nn::Tensor& x);
+  [[nodiscard]] bool int8_calibrated() const { return int8_calibrated_; }
+
  private:
   /// (Re)builds layer `l`'s packed panel from its codes.
   void build_pack(QuantizedLayer& l);
@@ -144,6 +180,7 @@ class QuantizedModel {
   nn::Model& model_;
   std::vector<QuantizedLayer> layers_;
   bool fused_ = true;
+  bool int8_calibrated_ = false;
 };
 
 }  // namespace dnnd::quant

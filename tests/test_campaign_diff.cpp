@@ -155,6 +155,48 @@ TEST(CampaignDiff, OkFlagFlipAndTraceDivergenceAreRegressions) {
   EXPECT_FALSE(diff_campaigns(traced_base, traced_cur, DiffConfig{.acc_tol = 0.25}).ok());
 }
 
+TEST(CampaignDiff, FinalOnlyGatesAccuracyButNotPathShape) {
+  // Cross-regime mode (int8 vs float baseline): flip spellings, counters, and
+  // trace shape -- including LENGTH -- become informational; ok status and
+  // clean/post accuracy still gate at acc_tol.
+  auto base = make_campaign();
+  base.results[0].trace = {0.9, 0.5, 0.2};
+  auto cur = base;
+  cur.results[0].flips = "9";                // different spelling AND count
+  cur.results[0].trace = {0.9, 0.6};         // different length
+  cur.results[1].attempts = 42;              // counter drift
+  const auto strict = diff_campaigns(base, cur);
+  EXPECT_FALSE(strict.ok());
+  const auto final_only = diff_campaigns(base, cur, DiffConfig{.final_only = true});
+  EXPECT_TRUE(final_only.ok());
+  EXPECT_FALSE(final_only.deltas.empty());  // still reported as notes
+
+  // Accuracy beyond tolerance still regresses in final-only mode...
+  auto worse = cur;
+  worse.results[0].post_accuracy = 0.05;
+  EXPECT_FALSE(
+      diff_campaigns(base, worse, DiffConfig{.acc_tol = 0.1, .final_only = true}).ok());
+  // ...and so does a scenario that started failing.
+  auto broken = cur;
+  broken.results[0].ok = false;
+  broken.results[0].error = "boom";
+  EXPECT_FALSE(diff_campaigns(base, broken, DiffConfig{.final_only = true}).ok());
+}
+
+TEST(CampaignFromJson, Int8MarkerRoundTripsAndDefaultsOff) {
+  // Default-regime documents carry no marker (byte-stability of committed
+  // baselines); a marked document round-trips the flag.
+  auto base = make_campaign();
+  EXPECT_EQ(base.to_json().find("int8"), std::string::npos);
+  base.int8_regime = true;
+  const std::string json = base.to_json();
+  EXPECT_NE(json.find("\"int8\":true"), std::string::npos);
+  const auto reloaded = campaign_from_json(json);
+  EXPECT_TRUE(reloaded.int8_regime);
+  EXPECT_EQ(reloaded.to_json(), json);
+  EXPECT_FALSE(campaign_from_json(make_campaign().to_json()).int8_regime);
+}
+
 TEST(CampaignDiff, MissingScenariosRespectIgnoreMissing) {
   const auto base = make_campaign();
   auto cur = base;

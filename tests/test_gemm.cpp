@@ -384,6 +384,175 @@ TEST(Gemm, AutoThreadsFollowsEnvChangesMidProcess) {
   }
 }
 
+TEST(Gemm, Int8PanelLayoutAndPointUpdate) {
+  // pack_b_q8 must place code (n, k) exactly where packed_q8_index says, and
+  // a single-byte point update must reproduce a full repack bit-for-bit --
+  // the invariant that makes a bit flip O(1) in the true-integer regime.
+  sys::Rng rng(112);
+  for (int trial = 0; trial < 20; ++trial) {
+    const usize N = 1 + rng.uniform(40), K = 1 + rng.uniform(60);
+    std::vector<i8> q(N * K);
+    for (auto& v : q) v = static_cast<i8>(static_cast<int>(rng.uniform(256)) - 128);
+
+    const usize size = gemm::packed_b_int8_size(N, K);
+    std::vector<i8> panel(size, i8{-1});
+    gemm::pack_b_q8(q.data(), N, K, panel.data());
+    for (usize n = 0; n < N; ++n) {
+      for (usize k = 0; k < K; ++k) {
+        ASSERT_EQ(panel[gemm::packed_q8_index(n, k, K)], q[n * K + k])
+            << "trial " << trial << " n=" << n << " k=" << k;
+      }
+    }
+
+    const usize idx = rng.uniform(N * K);
+    q[idx] = static_cast<i8>(q[idx] ^ 0x40);
+    panel[gemm::packed_q8_index(idx / K, idx % K, K)] = q[idx];
+    std::vector<i8> repacked(size, i8{0});
+    gemm::pack_b_q8(q.data(), N, K, repacked.data());
+    ASSERT_EQ(0, std::memcmp(panel.data(), repacked.data(), size))
+        << "point update diverged, trial " << trial;
+  }
+}
+
+namespace {
+
+/// Random codes with the extreme -128 value forced in (the maddubs-style
+/// kernel's hardest case: |w| = 128 only fits the unsigned operand).
+std::vector<i8> random_codes(usize n, sys::Rng& rng) {
+  std::vector<i8> q(n);
+  for (auto& v : q) v = static_cast<i8>(static_cast<int>(rng.uniform(256)) - 128);
+  q[rng.uniform(n)] = i8{-128};
+  return q;
+}
+
+}  // namespace
+
+TEST(Gemm, Int8GemmMatchesIntegerReferenceExactly) {
+  // gemm_nt_int8 against a naive int accumulation with the identical
+  // requantization epilogue: int32 accumulators make the comparison EXACT
+  // (ASSERT_EQ on floats), not a tolerance.
+  SimdGuard guard;
+  sys::Rng rng(113);
+  for (int trial = 0; trial < 30; ++trial) {
+    const usize M = 1 + rng.uniform(20), N = 1 + rng.uniform(33), K = 1 + rng.uniform(70);
+    const usize K4 = gemm::padded_k_int8(K);
+    Tensor a({M, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(bias, rng);
+    const std::vector<i8> q = random_codes(N * K, rng);
+    std::vector<i8> panel(gemm::packed_b_int8_size(N, K));
+    gemm::pack_b_q8(q.data(), N, K, panel.data());
+
+    const float sa = gemm::activation_scale(a.data(), M, K, K);
+    std::vector<i8> qa(M * K4);
+    gemm::quantize_activations(a.data(), M, K, K, sa, qa.data());
+    const float requant = sa * 0.01f;
+    const gemm::Bias kind = trial % 4 == 0 ? gemm::Bias::kNone : gemm::Bias::kPerCol;
+
+    Tensor c({M, N});
+    c.fill(-999.0f);  // stale sentinel: every element must be written
+    gemm::gemm_nt_int8(M, N, K, qa.data(), panel.data(), c.data(), N, 1, bias.data(), kind,
+                       requant);
+
+    for (usize m = 0; m < M; ++m) {
+      for (usize n = 0; n < N; ++n) {
+        i32 acc = 0;
+        for (usize k = 0; k < K; ++k) {
+          acc += static_cast<i32>(qa[gemm::packed_a_q8_index(m, k, M)]) *
+                 static_cast<i32>(q[n * K + k]);
+        }
+        const float expect = static_cast<float>(acc) * requant +
+                             (kind == gemm::Bias::kPerCol ? bias[n] : 0.0f);
+        ASSERT_EQ(c.at2(m, n), expect)
+            << "trial " << trial << " m=" << m << " n=" << n << " K=" << K;
+      }
+    }
+  }
+}
+
+TEST(Gemm, Int8SimdMatchesScalarByteExactOverRandomShapes) {
+  // The int8 tentpole's byte gate: the AVX2 maddubs-style kernel and the
+  // scalar reference must agree byte-for-byte (integer accumulation is
+  // exact -- ANY difference is a kernel bug, including s16 pair-sum
+  // saturation, which the activation clamp to [-127, 127] rules out).
+  SimdGuard guard;
+  sys::Rng rng(114);
+  for (int trial = 0; trial < 40; ++trial) {
+    const usize M = 1 + rng.uniform(40), N = 1 + rng.uniform(40), K = 1 + rng.uniform(200);
+    const usize K4 = gemm::padded_k_int8(K);
+    Tensor a({M, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(bias, rng);
+    const std::vector<i8> q = random_codes(N * K, rng);
+    std::vector<i8> panel(gemm::packed_b_int8_size(N, K));
+    gemm::pack_b_q8(q.data(), N, K, panel.data());
+    const float sa = gemm::activation_scale(a.data(), M, K, K);
+    std::vector<i8> qa(M * K4);
+    gemm::quantize_activations(a.data(), M, K, K, sa, qa.data());
+    const gemm::Bias kind = trial % 4 == 0 ? gemm::Bias::kNone : gemm::Bias::kPerCol;
+
+    simd::set_scalar_override(1);
+    Tensor scalar({M, N});
+    gemm::gemm_nt_int8(M, N, K, qa.data(), panel.data(), scalar.data(), N, 1, bias.data(),
+                       kind, 0.003f);
+
+    simd::set_scalar_override(0);
+    Tensor vectored({M, N});
+    vectored.fill(-999.0f);
+    gemm::gemm_nt_int8(M, N, K, qa.data(), panel.data(), vectored.data(), N, 1, bias.data(),
+                       kind, 0.003f);
+    expect_bitwise_equal(vectored, scalar,
+                         "int8 simd trial " + std::to_string(trial) + " M=" +
+                             std::to_string(M) + " N=" + std::to_string(N) + " K=" +
+                             std::to_string(K));
+  }
+}
+
+TEST(Gemm, Int8ThreadedMatchesSerialByteExact) {
+  // Both partition regimes (row chunks and panel chunks): int32 addition is
+  // associative, so any split is exactly transparent -- byte-gated here.
+  ThreadsGuard guard;
+  sys::Rng rng(115);
+  const usize hw = std::max<usize>(1, std::thread::hardware_concurrency());
+  for (int trial = 0; trial < 16; ++trial) {
+    usize M, N, K;
+    if (trial % 3 == 0) {
+      M = 1 + rng.uniform(3);  // fewer rows than any team: panel split
+      N = 24 + rng.uniform(80);
+      K = 128 + rng.uniform(256);
+    } else {
+      M = 9 + rng.uniform(120);  // row split, ragged vs the 8-row tile
+      N = 1 + rng.uniform(40);
+      K = 16 + rng.uniform(96);
+    }
+    const usize K4 = gemm::padded_k_int8(K);
+    Tensor a({M, K}), bias({N});
+    fill_random(a, rng);
+    fill_random(bias, rng);
+    const std::vector<i8> q = random_codes(N * K, rng);
+    std::vector<i8> panel(gemm::packed_b_int8_size(N, K));
+    gemm::pack_b_q8(q.data(), N, K, panel.data());
+    const float sa = gemm::activation_scale(a.data(), M, K, K);
+    std::vector<i8> qa(M * K4);
+    gemm::quantize_activations(a.data(), M, K, K, sa, qa.data());
+
+    gemm::set_threads(1);
+    Tensor serial({M, N});
+    gemm::gemm_nt_int8(M, N, K, qa.data(), panel.data(), serial.data(), N, 1, bias.data(),
+                       gemm::Bias::kPerCol, 0.005f);
+    for (const usize teams : {usize{2}, usize{4}, hw}) {
+      gemm::set_threads(teams);
+      Tensor threaded({M, N});
+      threaded.fill(-999.0f);
+      gemm::gemm_nt_int8(M, N, K, qa.data(), panel.data(), threaded.data(), N, 1,
+                         bias.data(), gemm::Bias::kPerCol, 0.005f);
+      expect_bitwise_equal(threaded, serial,
+                           "int8 teams=" + std::to_string(teams) + " trial " +
+                               std::to_string(trial));
+    }
+  }
+}
+
 TEST(Gemm, ForceNaiveRoutesLayersOntoReference) {
   sys::Rng rng(104);
   Dense d(13, 9, rng);
