@@ -8,7 +8,8 @@
 // vocabulary after "of"):
 //   DNND_GRID_MODELS   (vgg11,resnet18,resnet20,resnet34)
 //   DNND_GRID_GENS     (lpddr4-new,ddr4-new) of any device_gen_slug value
-//   DNND_GRID_ATTACKS  (bfa,binary-bfa,random,adaptive,dram-white-box)
+//   DNND_GRID_ATTACKS  (bfa,binary-bfa,random,adaptive,dram-white-box,
+//                       tbfa-n-to-1,tbfa-1-to-1,tbfa-stealthy)
 //   DNND_GRID_PREPS    (none,binary-finetune,piecewise-clustering,
 //                       reconstruction-guard)
 //   DNND_GRID_DEFENSES (none,rrs,srs,shadow,dnn-defender) of none, para,

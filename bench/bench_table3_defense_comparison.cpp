@@ -26,10 +26,16 @@ int main() {
   harness::CampaignRunner runner(cfg);
   const auto campaign = runner.run(harness::table3_scenarios(small));
 
-  sys::Table table({"Model / Defense", "Clean Acc (%)", "Post-Attack Acc (%)", "Bit-Flips #"});
+  sys::Table table({"Model / Defense", "Clean Acc (%)", "Post-Attack Acc (%)", "ASR (%)",
+                    "Bit-Flips #"});
   for (const auto& r : campaign.results) {
+    // ASR only exists for the targeted (tbfa-*) attack family; Table 3's
+    // paper rows are untargeted, so they show a dash unless the grid is
+    // extended with targeted cells.
+    const bool targeted = r.attack.rfind("tbfa", 0) == 0;
     table.add_row({r.label, sys::fmt(100.0 * r.clean_accuracy, 2),
                    sys::fmt(100.0 * r.post_accuracy, 2),
+                   targeted ? sys::fmt(100.0 * r.attack_success_rate, 2) : "-",
                    r.ok ? r.flips : "ERROR: " + r.error});
   }
   table.print();

@@ -1,20 +1,28 @@
 #include "attack/bfa.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace dnnd::attack {
+
+double probe_loss_key(double loss) {
+  return std::isnan(loss) ? std::numeric_limits<double>::infinity() : loss;
+}
 
 ProgressiveBitSearch::ProgressiveBitSearch(quant::QuantizedModel& qm, nn::Tensor attack_x,
                                            std::vector<u32> attack_y, BfaConfig cfg)
     : qm_(qm), attack_x_(std::move(attack_x)), attack_y_(std::move(attack_y)), cfg_(cfg) {
-  u32 max_label = 0;
-  for (u32 y : attack_y_) max_label = std::max(max_label, y);
-  num_classes_ = max_label + 1;
   // True-integer regime: every probe forward in run()/step() goes through the
   // int8 path, so the activation scales must be frozen before the first
   // measurement. No-op in the default float regime.
   qm_.ensure_int8_calibrated(attack_x_);
+  // Class count from the model's output dimension, NOT the labels present in
+  // the batch: a batch that happens to omit the top classes would inflate the
+  // random-guess stop threshold and cut the search short. The forward also
+  // warms the activation cache the first step() reuses.
+  num_classes_ = qm_.model().forward_cached(attack_x_, /*train=*/false).dim(1);
 }
 
 double ProgressiveBitSearch::stop_threshold() const {
@@ -74,8 +82,11 @@ std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& sk
           model.forward_from(qm_.layer(cand.loc.layer).net_layer, /*train=*/false);
       const nn::BatchEval ev = nn::evaluate_logits(logits, attack_y_);
       qm_.flip(cand.loc);  // revert
-      if (ev.loss > best_loss) {
-        best_loss = ev.loss;
+      // Ordering through probe_loss_key: a probe whose loss saturated to NaN
+      // ranks as +inf (maximally destructive) instead of comparing false and
+      // vanishing. best_loss holds the normalized key throughout.
+      if (probe_loss_key(ev.loss) > probe_loss_key(best_loss)) {
+        best_loss = probe_loss_key(ev.loss);
         best_loc = cand.loc;
         best_accuracy = ev.accuracy;
       }
@@ -107,7 +118,7 @@ std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& sk
     const nn::Tensor& logits =
         model.forward_from(qm_.layer(best_loc->layer).net_layer, /*train=*/false);
     const nn::BatchEval ev = nn::evaluate_logits(logits, attack_y_);
-    best_loss = ev.loss;
+    best_loss = probe_loss_key(ev.loss);
     best_accuracy = ev.accuracy;
   }
   rec.loss_after = best_loss;

@@ -46,6 +46,15 @@ struct BfaResult {
   bool reached_stop = false;
 };
 
+/// Ordering key for probe losses: NaN maps to +infinity, everything else to
+/// itself. A flip that saturates the logits to +-inf yields NaN cross-entropy
+/// (inf - inf inside the softmax); to a loss-maximising attacker that is the
+/// most destructive outcome available, not an invisible one -- but NaN
+/// compares false under every ordering, so a bare `>` silently discarded
+/// exactly those probes. All BFA-family candidate comparisons go through
+/// this key, and committed records carry the normalized (+inf) loss.
+double probe_loss_key(double loss);
+
 class ProgressiveBitSearch {
  public:
   /// `attack_x`/`attack_y` is the attacker's sample batch (the paper uses 128

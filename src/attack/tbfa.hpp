@@ -1,0 +1,113 @@
+// T-BFA -- the class-targeted Bit-Flip Attack family of Rakin et al.
+// (Targeted Attack against DNNs with Limited Bit-Flips), the regime the
+// untargeted accuracy-collapse evaluation never exercises: instead of
+// maximising the inference loss, the attacker MINIMISES a targeted objective
+// that redirects source-class inputs to a chosen target class.
+//
+// Three variants:
+//   N-to-1    every non-target class is a source (total misdirection),
+//   1-to-1    a single source class is redirected, everything else is free,
+//   stealthy  1-to-1 under an admissibility constraint: accuracy on the
+//             non-source rows of the attack batch must stay within a
+//             tolerance of its clean value, so the attack is invisible to an
+//             overall-accuracy monitor.
+//
+// Built on the same incremental-probe machinery as ProgressiveBitSearch:
+// bit gradients of the (negated) targeted objective rank candidates per
+// layer, flip / forward_from / unflip prices the shortlist exactly, and the
+// best admissible loss-DECREASING flip commits. Success is measured as the
+// attack success rate (ASR): the fraction of source rows predicted as the
+// target class.
+#pragma once
+
+#include <optional>
+
+#include "nn/dataset.hpp"
+#include "quant/bit_gradient.hpp"
+
+namespace dnnd::attack {
+
+enum class TbfaVariant {
+  kNTo1,      ///< all sources -> target
+  k1To1,      ///< one source -> target
+  kStealthy,  ///< 1-to-1 with the other-class accuracy constraint
+};
+
+struct TbfaConfig {
+  TbfaVariant variant = TbfaVariant::kNTo1;
+  u32 source = 0;  ///< source class (k1To1/kStealthy; ignored for kNTo1)
+  u32 target = 1;  ///< class the sources are redirected to
+  usize candidates_per_layer = 2;  ///< top-k per layer for the exact evaluation
+  usize layers_evaluated = 6;      ///< evaluate only the best n layers (0 = all)
+  usize max_flips = 60;
+  double stop_asr = 0.999;  ///< stop when attack-batch ASR >= this
+  /// kStealthy: a probe is admissible only while attack-batch accuracy on the
+  /// non-source rows stays within this of its clean value.
+  double stealth_tolerance = 0.1;
+  /// Weight of the keep-other-classes term in the targeted objective
+  /// (kStealthy only; the unconstrained variants optimise the pure
+  /// redirect term).
+  double stealth_weight = 1.0;
+  bool verbose = false;
+};
+
+/// One committed flip of a targeted search.
+struct TbfaFlip {
+  quant::BitLocation loc;
+  double loss_before = 0.0;     ///< targeted objective (lower = better attack)
+  double loss_after = 0.0;
+  double asr_after = 0.0;       ///< attack-batch source->target rate
+  double other_acc_after = 0.0; ///< attack-batch accuracy outside the sources
+};
+
+struct TbfaResult {
+  std::vector<TbfaFlip> flips;
+  double initial_asr = 0.0;
+  double final_asr = 0.0;
+  double initial_other_acc = 0.0;
+  double final_other_acc = 0.0;
+  bool reached_stop = false;
+};
+
+class TbfaAttack {
+ public:
+  /// `attack_x`/`attack_y` is the attacker's sample batch. Throws
+  /// std::invalid_argument when target/source fall outside the model's class
+  /// count or source == target for the 1-to-1 variants.
+  TbfaAttack(quant::QuantizedModel& qm, nn::Tensor attack_x, std::vector<u32> attack_y,
+             TbfaConfig cfg = {});
+
+  /// Finds and commits the single best admissible flip not in `skip` (and not
+  /// flipped by this search before). Returns nullopt when no candidate both
+  /// lowers the targeted objective and (kStealthy) satisfies the constraint
+  /// -- there is deliberately no first-order-estimate fallback: a targeted
+  /// attack that can only make things worse must stop, not thrash.
+  std::optional<TbfaFlip> step(const quant::BitSkipSet& skip);
+
+  /// Runs `step` until ASR reaches cfg.stop_asr or the budget/candidates run
+  /// out; flips are committed in `qm`.
+  TbfaResult run(const quant::BitSkipSet& skip = {});
+
+  [[nodiscard]] const TbfaConfig& config() const { return cfg_; }
+  /// Resolved source selector: nn::kAllSources for kNTo1, cfg.source else.
+  [[nodiscard]] u32 source_class() const { return source_; }
+  /// Clean (pre-attack) attack-batch measurements, taken at construction.
+  [[nodiscard]] double clean_asr() const { return clean_asr_; }
+  [[nodiscard]] double clean_other_accuracy() const { return clean_other_acc_; }
+
+ private:
+  [[nodiscard]] double stealth_weight() const;
+
+  quant::QuantizedModel& qm_;
+  nn::Tensor attack_x_;
+  std::vector<u32> attack_y_;
+  TbfaConfig cfg_;
+  u32 source_ = 0;
+  double clean_asr_ = 0.0;
+  double clean_other_acc_ = 0.0;
+  nn::PerClassEval scratch_;   ///< probe measurements (allocation-free reuse)
+  nn::Tensor dlogits_;         ///< gradient scratch for the targeted objective
+  quant::BitSkipSet flipped_;  ///< bits this search has already committed
+};
+
+}  // namespace dnnd::attack

@@ -9,6 +9,7 @@
 
 #include "attack/adaptive_attack.hpp"
 #include "attack/random_attack.hpp"
+#include "attack/tbfa.hpp"
 #include "core/priority_profiler.hpp"
 #include "defense/software_defenses.hpp"
 #include "mapping/weight_mapping.hpp"
@@ -197,6 +198,31 @@ void run_scenario_impl(const Scenario& sc, ArtifactCache& cache, ScenarioResult&
       return;
     }
 
+    case AttackKind::kTbfaNTo1:
+    case AttackKind::kTbfa1To1:
+    case AttackKind::kTbfaStealthy: {
+      attack::TbfaConfig tcfg = {};
+      tcfg.variant = sc.attack == AttackKind::kTbfaNTo1   ? attack::TbfaVariant::kNTo1
+                     : sc.attack == AttackKind::kTbfa1To1 ? attack::TbfaVariant::k1To1
+                                                          : attack::TbfaVariant::kStealthy;
+      tcfg.source = sc.tbfa_source;
+      tcfg.target = sc.tbfa_target;
+      tcfg.stealth_tolerance = sc.tbfa_stealth_tol;
+      tcfg.max_flips = sc.max_flips;
+      attack::TbfaAttack atk(qm, ax, ay, tcfg);
+      const auto res = atk.run();
+      // One forward over the eval batch yields all three post-attack numbers;
+      // pce.accuracy() counts exactly like evaluate_batch, so post_accuracy
+      // stays comparable with every other attack kind's.
+      nn::PerClassEval pce;
+      model->evaluate_batch_per_class(ex, ey, atk.source_class(), tcfg.target, pce);
+      r.post_accuracy = pce.accuracy();
+      r.attack_success_rate = pce.attack_success_rate();
+      r.post_attack_other_acc = pce.other_accuracy();
+      r.flips = flips_or_more(res.flips.size(), res.reached_stop);
+      return;
+    }
+
     case AttackKind::kBinaryBfa:
       break;  // handled above
   }
@@ -298,10 +324,15 @@ CampaignResult CampaignRunner::run(const std::vector<Scenario>& scenarios) {
 
 sys::Table CampaignResult::table() const {
   sys::Table t({"scenario", "model", "defense", "attack", "clean acc (%)", "post acc (%)",
-                "flips"});
+                "asr (%)", "other acc (%)", "flips"});
   for (const auto& r : results) {
+    // ASR / other-class accuracy only mean something for the targeted family;
+    // a dash keeps the untargeted rows from reading as 0% success.
+    const bool targeted = r.attack.rfind("tbfa", 0) == 0;
     t.add_row({r.id, r.model, r.defense, r.attack, sys::fmt(100.0 * r.clean_accuracy, 2),
                sys::fmt(100.0 * r.post_accuracy, 2),
+               targeted ? sys::fmt(100.0 * r.attack_success_rate, 2) : "-",
+               targeted ? sys::fmt(100.0 * r.post_attack_other_acc, 2) : "-",
                r.ok ? r.flips : "ERROR: " + r.error});
   }
   return t;
@@ -319,6 +350,8 @@ void scenario_result_to_json(sys::JsonWriter& w, const ScenarioResult& r,
   if (!r.ok) w.key("error").value(r.error);
   w.key("clean_accuracy").value(r.clean_accuracy);
   w.key("post_accuracy").value(r.post_accuracy);
+  w.key("attack_success_rate").value(r.attack_success_rate);
+  w.key("post_attack_other_acc").value(r.post_attack_other_acc);
   w.key("flips").value(r.flips);
   w.key("attempts").value(r.attempts);
   w.key("landed").value(r.landed);
@@ -388,6 +421,8 @@ ScenarioResult scenario_result_from_json(const sys::JsonValue& s, bool expect_ti
   if (!r.ok) r.error = require_field(s, "error", where).as_string();
   r.clean_accuracy = require_field(s, "clean_accuracy", where).as_double();
   r.post_accuracy = require_field(s, "post_accuracy", where).as_double();
+  r.attack_success_rate = require_field(s, "attack_success_rate", where).as_double();
+  r.post_attack_other_acc = require_field(s, "post_attack_other_acc", where).as_double();
   r.flips = require_field(s, "flips", where).as_string();
   r.attempts = static_cast<usize>(require_field(s, "attempts", where).as_u64());
   r.landed = static_cast<usize>(require_field(s, "landed", where).as_u64());

@@ -49,6 +49,12 @@ struct ScenarioResult {
 
   double clean_accuracy = 0.0;
   double post_accuracy = 0.0;
+  /// T-BFA attacks: fraction of eval-batch source rows predicted as the
+  /// target class after the attack. 0 for every other attack kind.
+  double attack_success_rate = 0.0;
+  /// T-BFA attacks: post-attack eval-batch accuracy outside the source rows
+  /// (the stealth metric). 0 for every other attack kind.
+  double post_attack_other_acc = 0.0;
   std::string flips;  ///< paper-style flip count (">80", "30 (0 landed)", ...)
 
   // kDramWhiteBox details

@@ -87,6 +87,10 @@ DiffReport diff_campaigns(const CampaignResult& baseline, const CampaignResult& 
     d.post_delta = c.post_accuracy - b.post_accuracy;
     check_acc("clean_accuracy", b.clean_accuracy, c.clean_accuracy);
     check_acc("post_accuracy", b.post_accuracy, c.post_accuracy);
+    // The targeted-attack metrics gate like accuracies: both are fractions of
+    // an eval-batch row subset, so acc_tol is the right yardstick.
+    check_acc("attack_success_rate", b.attack_success_rate, c.attack_success_rate);
+    check_acc("post_attack_other_acc", b.post_attack_other_acc, c.post_attack_other_acc);
 
     // A successful scenario must carry a parseable flip count on BOTH sides:
     // a malformed/hand-edited baseline field is itself a loud failure, even

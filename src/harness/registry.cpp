@@ -305,6 +305,33 @@ std::vector<Scenario> tiny_test_grid() {
     sc.hw_attempts = 6;
     grid.push_back(common(sc));
   }
+  {
+    Scenario sc;
+    sc.id = "tiny/tbfa-n-to-1";
+    sc.attack = AttackKind::kTbfaNTo1;
+    sc.tbfa_target = 1;
+    sc.max_flips = 10;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/tbfa-1-to-1";
+    sc.attack = AttackKind::kTbfa1To1;
+    sc.tbfa_source = 2;
+    sc.tbfa_target = 0;
+    sc.max_flips = 10;
+    grid.push_back(common(sc));
+  }
+  {
+    Scenario sc;
+    sc.id = "tiny/tbfa-stealthy";
+    sc.attack = AttackKind::kTbfaStealthy;
+    sc.tbfa_source = 3;
+    sc.tbfa_target = 1;
+    sc.tbfa_stealth_tol = 0.15;
+    sc.max_flips = 10;
+    grid.push_back(common(sc));
+  }
   return grid;
 }
 
@@ -444,7 +471,13 @@ GridSpec grid_spec_from_env(bool small) {
   if (const char* v = std::getenv("DNND_GRID_ATTACKS"); v != nullptr && v[0] != '\0') {
     spec.attacks.clear();
     for (const auto& slug : split_csv(v)) {
-      spec.attacks.push_back(attack_kind_from_string(slug));
+      try {
+        spec.attacks.push_back(attack_kind_from_string(slug));
+      } catch (const std::invalid_argument& e) {
+        // Name the env var: the bare slug error is useless when the typo lives
+        // in a CI matrix definition three layers up.
+        throw std::invalid_argument(std::string("DNND_GRID_ATTACKS: ") + e.what());
+      }
     }
   }
   if (const char* v = std::getenv("DNND_GRID_FULL_PRODUCT"); v != nullptr && v[0] == '1') {

@@ -22,6 +22,9 @@ std::string to_string(AttackKind kind) {
     case AttackKind::kRandom: return "random";
     case AttackKind::kAdaptive: return "adaptive";
     case AttackKind::kDramWhiteBox: return "dram-white-box";
+    case AttackKind::kTbfaNTo1: return "tbfa-n-to-1";
+    case AttackKind::kTbfa1To1: return "tbfa-1-to-1";
+    case AttackKind::kTbfaStealthy: return "tbfa-stealthy";
   }
   return "unknown";
 }
@@ -45,10 +48,13 @@ std::string to_string(SoftwarePrep prep) {
 }
 
 AttackKind attack_kind_from_string(const std::string& slug) {
+  std::string valid;
   for (const AttackKind kind : kAllAttackKinds) {
     if (to_string(kind) == slug) return kind;
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(kind);
   }
-  throw std::invalid_argument("unknown attack kind: " + slug);
+  throw std::invalid_argument("unknown attack kind: " + slug + " (valid: " + valid + ")");
 }
 
 SoftwarePrep software_prep_from_string(const std::string& slug) {

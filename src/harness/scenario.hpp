@@ -33,7 +33,17 @@ enum class AttackKind {
   kRandom,        ///< uniformly random bit flips
   kAdaptive,      ///< white-box BFA that skips a secured-bit set
   kDramWhiteBox,  ///< full-stack attack carried through the DRAM simulator
+  kTbfaNTo1,      ///< T-BFA: redirect every class to the target class
+  kTbfa1To1,      ///< T-BFA: redirect one source class to the target class
+  kTbfaStealthy,  ///< T-BFA 1-to-1 under the other-class accuracy constraint
 };
+
+/// True for the class-targeted T-BFA family (the kinds whose results carry
+/// an attack-success-rate instead of pure accuracy collapse).
+inline constexpr bool is_tbfa(AttackKind kind) {
+  return kind == AttackKind::kTbfaNTo1 || kind == AttackKind::kTbfa1To1 ||
+         kind == AttackKind::kTbfaStealthy;
+}
 
 /// Training-time software defense applied before quantization.
 enum class SoftwarePrep {
@@ -46,8 +56,9 @@ enum class SoftwarePrep {
 /// round-trips, axis defaults, and exhaustive tests. A new enum value only
 /// needs to be added here and in its to_string switch.
 inline constexpr AttackKind kAllAttackKinds[] = {
-    AttackKind::kBfa,      AttackKind::kBinaryBfa,     AttackKind::kRandom,
-    AttackKind::kAdaptive, AttackKind::kDramWhiteBox,
+    AttackKind::kBfa,          AttackKind::kBinaryBfa, AttackKind::kRandom,
+    AttackKind::kAdaptive,     AttackKind::kDramWhiteBox,
+    AttackKind::kTbfaNTo1,     AttackKind::kTbfa1To1,  AttackKind::kTbfaStealthy,
 };
 inline constexpr SoftwarePrep kAllSoftwarePreps[] = {
     SoftwarePrep::kNone,
@@ -110,6 +121,10 @@ struct Scenario {
   usize hw_attempts = 30;    ///< DRAM flip-attempt budget (kDramWhiteBox)
   /// Stop when eval accuracy falls to this; 0 = 1.1 x random-guess level.
   double stop_accuracy = 0.0;
+  // T-BFA knobs (is_tbfa(attack) only).
+  u32 tbfa_source = 0;            ///< source class (1-to-1 variants)
+  u32 tbfa_target = 1;            ///< class the sources are redirected to
+  double tbfa_stealth_tol = 0.1;  ///< kTbfaStealthy admissibility tolerance
   /// Record a per-measurement accuracy trace (Fig. 1b style curves).
   bool record_trace = false;
 

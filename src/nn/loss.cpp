@@ -1,5 +1,6 @@
 #include "nn/loss.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -35,13 +36,21 @@ usize argmax_row(const float* row, usize c) {
 }
 
 /// Shared per-row evaluation: softmax into `probs`, cross-entropy term for
-/// label `y`, and whether the argmax hits it. Single source of the clamp and
+/// label `y`, and the argmax prediction. Single source of the clamp and
 /// stabilization all loss entry points must agree on bit-for-bit.
+double row_loss_and_pred(const float* row, usize c, u32 y, std::vector<double>& probs,
+                         usize& pred) {
+  row_softmax(row, c, probs);
+  pred = argmax_row(row, c);
+  return -std::log(std::max(probs[y], 1e-12));
+}
+
 double row_loss_and_hit(const float* row, usize c, u32 y, std::vector<double>& probs,
                         bool& hit) {
-  row_softmax(row, c, probs);
-  hit = argmax_row(row, c) == y;
-  return -std::log(std::max(probs[y], 1e-12));
+  usize pred = 0;
+  const double loss = row_loss_and_pred(row, c, y, probs, pred);
+  hit = pred == y;
+  return loss;
 }
 }  // namespace
 
@@ -102,6 +111,83 @@ BatchEval evaluate_logits(const Tensor& logits, const std::vector<u32>& labels) 
   out.loss = total / static_cast<double>(n == 0 ? 1 : n);
   out.accuracy = static_cast<double>(out.correct) / static_cast<double>(n == 0 ? 1 : n);
   return out;
+}
+
+void evaluate_logits_per_class(const Tensor& logits, const std::vector<u32>& labels,
+                               u32 source, u32 target, PerClassEval& out) {
+  assert(logits.rank() == 2);
+  const usize n = logits.dim(0), c = logits.dim(1);
+  assert(labels.size() == n);
+  out.class_correct.resize(c);
+  out.class_total.resize(c);
+  std::fill(out.class_correct.begin(), out.class_correct.end(), usize{0});
+  std::fill(out.class_total.begin(), out.class_total.end(), usize{0});
+  out.rows = n;
+  out.correct = 0;
+  out.source_rows = 0;
+  out.source_to_target = 0;
+  out.other_rows = 0;
+  out.other_correct = 0;
+  std::vector<double>& probs = probs_scratch(c);
+  double total = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    const u32 y = labels[i];
+    assert(y < c);
+    usize pred = 0;
+    total += row_loss_and_pred(logits.data() + i * c, c, y, probs, pred);
+    const bool hit = pred == y;
+    out.correct += hit;
+    out.class_total[y] += 1;
+    out.class_correct[y] += hit;
+    const bool is_source = source == kAllSources ? y != target : y == source;
+    if (is_source) {
+      out.source_rows += 1;
+      out.source_to_target += pred == target;
+    } else {
+      out.other_rows += 1;
+      out.other_correct += hit;
+    }
+  }
+  out.loss = total / static_cast<double>(n == 0 ? 1 : n);
+}
+
+double targeted_cross_entropy(const Tensor& logits, const std::vector<u32>& labels,
+                              u32 source, u32 target, double stealth_weight,
+                              Tensor* dlogits) {
+  assert(logits.rank() == 2);
+  const usize n = logits.dim(0), c = logits.dim(1);
+  assert(labels.size() == n);
+  // Group sizes first: each group's terms are averaged over ITS row count, so
+  // a lone source row weighs as much as the whole keep-others term.
+  usize n_src = 0;
+  for (usize i = 0; i < n; ++i) {
+    const u32 y = labels[i];
+    n_src += source == kAllSources ? y != target : y == source;
+  }
+  const usize n_other = n - n_src;
+  if (dlogits != nullptr) dlogits->resize({n, c});
+  std::vector<double>& probs = probs_scratch(c);
+  double total = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    const u32 y = labels[i];
+    assert(y < c);
+    const bool is_source = source == kAllSources ? y != target : y == source;
+    // Source rows pull toward the target label; the rest hold their true
+    // label, scaled by the stealth weight.
+    const u32 goal = is_source ? target : y;
+    const double weight =
+        is_source ? 1.0 / static_cast<double>(n_src)
+                  : stealth_weight / static_cast<double>(n_other == 0 ? 1 : n_other);
+    row_softmax(logits.data() + i * c, c, probs);
+    total += weight * -std::log(std::max(probs[goal], 1e-12));
+    if (dlogits != nullptr) {
+      for (usize j = 0; j < c; ++j) {
+        dlogits->at2(i, j) =
+            static_cast<float>(weight * (probs[j] - (j == goal ? 1.0 : 0.0)));
+      }
+    }
+  }
+  return total;
 }
 
 std::vector<u32> argmax_rows(const Tensor& logits) {

@@ -23,6 +23,44 @@ struct BatchEval {
   usize correct = 0;      ///< argmax hits
 };
 
+/// Source-class sentinel for the targeted helpers below: every class except
+/// the target counts as a source (the T-BFA N-to-1 regime).
+inline constexpr u32 kAllSources = 0xFFFFFFFFu;
+
+/// Per-class breakdown of one logits evaluation plus the bookkeeping a
+/// class-targeted (T-BFA) attack needs for a source->target pair: how many
+/// source-class rows the model redirects to the target (attack success) and
+/// how accurate it stays on everything outside the source set (stealth).
+/// Computed from the same single logits tensor as evaluate_logits; the
+/// vectors are resized, not reallocated, so a reused instance is
+/// allocation-free in steady state.
+struct PerClassEval {
+  double loss = 0.0;  ///< mean cross-entropy w.r.t. the true labels
+  usize rows = 0;
+  usize correct = 0;  ///< argmax hits on the true labels
+  std::vector<usize> class_correct;  ///< per true class
+  std::vector<usize> class_total;    ///< per true class
+
+  usize source_rows = 0;       ///< rows whose true label is in the source set
+  usize source_to_target = 0;  ///< source rows predicted as the target class
+  usize other_rows = 0;        ///< rows outside the source set
+  usize other_correct = 0;     ///< argmax hits among those
+
+  [[nodiscard]] double accuracy() const {
+    return static_cast<double>(correct) / static_cast<double>(rows == 0 ? 1 : rows);
+  }
+  /// Fraction of source rows redirected to the target class.
+  [[nodiscard]] double attack_success_rate() const {
+    return static_cast<double>(source_to_target) /
+           static_cast<double>(source_rows == 0 ? 1 : source_rows);
+  }
+  /// Accuracy restricted to rows outside the source set (the stealth metric).
+  [[nodiscard]] double other_accuracy() const {
+    return static_cast<double>(other_correct) /
+           static_cast<double>(other_rows == 0 ? 1 : other_rows);
+  }
+};
+
 /// Computes mean softmax cross-entropy and its gradient for logits {N, C}.
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<u32>& labels);
 
@@ -39,6 +77,23 @@ double softmax_cross_entropy_loss(const Tensor& logits, const std::vector<u32>& 
 /// loss matches softmax_cross_entropy_loss and the accuracy matches
 /// argmax_rows-based counting bit-for-bit.
 BatchEval evaluate_logits(const Tensor& logits, const std::vector<u32>& labels);
+
+/// Per-class variant of evaluate_logits for a source->target pair (`source`
+/// may be kAllSources). Same softmax / clamp / first-max-wins argmax as every
+/// other entry point, so loss and overall counts agree with evaluate_logits
+/// bit-for-bit; writes into `out` without allocating in steady state.
+void evaluate_logits_per_class(const Tensor& logits, const std::vector<u32>& labels,
+                               u32 source, u32 target, PerClassEval& out);
+
+/// Targeted cross-entropy objective of the T-BFA family: the mean CE of
+/// source rows toward the TARGET label, plus stealth_weight times the mean CE
+/// of non-source rows toward their TRUE labels (the keep-other-classes term;
+/// pass 0 for the unconstrained variants). The attacker MINIMIZES this.
+/// When `dlogits` is non-null it receives dL/dlogits (resized, not
+/// reallocated in steady state); rows of an empty group contribute zero.
+double targeted_cross_entropy(const Tensor& logits, const std::vector<u32>& labels,
+                              u32 source, u32 target, double stealth_weight,
+                              Tensor* dlogits = nullptr);
 
 /// Argmax class per row of logits {N, C}.
 std::vector<u32> argmax_rows(const Tensor& logits);

@@ -87,6 +87,12 @@ BatchEval Model::evaluate_batch(const Tensor& x, const std::vector<u32>& labels)
   return evaluate_logits(logits, labels);
 }
 
+void Model::evaluate_batch_per_class(const Tensor& x, const std::vector<u32>& labels,
+                                     u32 source, u32 target, PerClassEval& out) {
+  const Tensor& logits = forward_cached(x, /*train=*/false);
+  evaluate_logits_per_class(logits, labels, source, target, out);
+}
+
 BatchEval Model::evaluate_batch_incremental(const Tensor& x, const std::vector<u32>& labels) {
   return evaluate_logits(forward_incremental(x), labels);
 }

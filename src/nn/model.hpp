@@ -93,6 +93,13 @@ class Model {
   /// loss()/accuracy() calls (which would forward twice).
   BatchEval evaluate_batch(const Tensor& x, const std::vector<u32>& labels);
 
+  /// Per-class variant of evaluate_batch for a source->target pair (`source`
+  /// may be kAllSources): one forward, per-class counts plus attack-success
+  /// and other-class accuracy written into `out`. Overall loss/accuracy agree
+  /// with evaluate_batch bit-for-bit.
+  void evaluate_batch_per_class(const Tensor& x, const std::vector<u32>& labels,
+                                u32 source, u32 target, PerClassEval& out);
+
   /// evaluate_batch that recomputes ONLY the layers whose parameters changed
   /// since the last forward (via the invalidate_from frontier) when the cache
   /// is reusable, and falls back to the full pass otherwise. Byte-identical
@@ -114,6 +121,13 @@ class Model {
   /// are byte-identical to the full-forward path. The BFA step uses this to
   /// avoid re-running the clean prefix of the network every iteration.
   const LossResult& loss_and_grad_incremental(const Tensor& x, const std::vector<u32>& labels);
+
+  /// The incremental-cache forward (same reuse rule as the helpers above),
+  /// exposed for objectives beyond plain cross-entropy: callers compute their
+  /// own loss/gradient from the returned logits and drive backward() with it
+  /// (the T-BFA targeted objective does). The reference is valid until the
+  /// next forward/backward on this model.
+  const Tensor& forward_incremental_logits(const Tensor& x) { return forward_incremental(x); }
 
   /// Fraction of correct argmax predictions on (x, labels).
   double accuracy(const Tensor& x, const std::vector<u32>& labels);

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "attack/adaptive_attack.hpp"
 #include "attack/bfa.hpp"
 #include "attack/deephammer.hpp"
 #include "attack/random_attack.hpp"
+#include "attack/tbfa.hpp"
 #include "test_util.hpp"
 
 namespace dnnd::attack {
@@ -208,6 +210,138 @@ TEST_F(BfaFixture, AdaptiveAttackWithEverythingSecuredLandsNothing) {
   EXPECT_TRUE(res.landed_flips.empty());
   // Trace stays at clean accuracy.
   for (double a : res.accuracy_trace) EXPECT_DOUBLE_EQ(a, res.accuracy_trace.front());
+}
+
+TEST_F(BfaFixture, StopThresholdUsesModelClassCountNotBatchLabels) {
+  // Regression: num_classes_ used to be max(label)+1 over the attack batch,
+  // so a batch omitting the top class inflated the random-guess threshold
+  // (1.05/3 instead of 1.05/4 here) and cut the search short.
+  std::vector<u32> clamped = ay_;
+  for (u32& y : clamped) y = std::min(y, 2u);  // class 3 absent from the batch
+  ProgressiveBitSearch bfa(qm_, ax_, clamped, {});
+  EXPECT_DOUBLE_EQ(bfa.stop_threshold(), 1.05 / 4.0);
+}
+
+TEST(BfaNanProbe, SaturatingFlipRanksAsMostDestructive) {
+  // A flip that drives a logit to +inf makes the softmax NaN (inf - inf).
+  // NaN compares false under `>`, so the candidate loop used to silently
+  // discard exactly the most destructive probes. probe_loss_key maps NaN to
+  // +inf; the saturating flip must now win the step.
+  sys::Rng rng(1);
+  auto model = std::make_unique<nn::Model>("sat");
+  auto dense = std::make_unique<nn::Dense>(2, 2, rng);
+  // W = [[5, 0], [0, 0]], b = 0: scale 5/127, codes [127, 0, 0, 0].
+  for (usize i = 0; i < dense->weight.size(); ++i) dense->weight[i] = 0.0f;
+  for (usize i = 0; i < dense->bias.size(); ++i) dense->bias[i] = 0.0f;
+  dense->weight[0] = 5.0f;
+  model->add(std::move(dense));
+  quant::QuantizedModel qm(*model);
+
+  // x = (1, 3e38), label 0: base logits (5, 0). The two positive-gain
+  // candidates are w01 bit 7 (z0 -> -inf, large FINITE loss) and w11 bit 6
+  // (z1 -> +inf, NaN loss). The NaN probe is the more destructive one.
+  nn::Tensor x({1, 2});
+  x[0] = 1.0f;
+  x[1] = 3e38f;
+  ProgressiveBitSearch bfa(qm, x, {0}, {});
+  const auto rec = bfa.step({});
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_FALSE(rec->fallback) << "the NaN probe must win in-loop, not via fallback";
+  EXPECT_EQ(rec->loc.index, 3u);  // w11 ({out, in} layout)
+  EXPECT_EQ(rec->loc.bit, 6u);
+  EXPECT_TRUE(std::isinf(rec->loss_after)) << "committed record carries the +inf key";
+}
+
+// ------------------------------------------------------------------ T-BFA --
+
+TEST_F(BfaFixture, TbfaNTo1RedirectsEverythingToTarget) {
+  TbfaConfig cfg;
+  cfg.variant = TbfaVariant::kNTo1;
+  cfg.target = 1;
+  cfg.max_flips = 25;
+  TbfaAttack atk(qm_, ax_, ay_, cfg);
+  EXPECT_EQ(atk.source_class(), nn::kAllSources);
+  const auto res = atk.run();
+  EXPECT_LT(res.initial_asr, 0.2) << "a trained model should rarely hit the target";
+  EXPECT_GT(res.final_asr, res.initial_asr + 0.3) << "redirect must make real progress";
+  // A targeted attacker is a minimiser: every committed flip lowers the
+  // objective (no fallback path exists by design).
+  for (const auto& rec : res.flips) EXPECT_LT(rec.loss_after, rec.loss_before);
+  // Hamming distance stays minimal, same contract as untargeted BFA.
+  std::set<u64> seen;
+  for (const auto& rec : res.flips) EXPECT_TRUE(seen.insert(rec.loc.key()).second);
+}
+
+TEST_F(BfaFixture, Tbfa1To1RaisesSourceToTargetRate) {
+  TbfaConfig cfg;
+  cfg.variant = TbfaVariant::k1To1;
+  cfg.source = 2;
+  cfg.target = 0;
+  cfg.max_flips = 25;
+  TbfaAttack atk(qm_, ax_, ay_, cfg);
+  EXPECT_EQ(atk.source_class(), 2u);
+  const auto res = atk.run();
+  EXPECT_GT(res.final_asr, res.initial_asr)
+      << "1-to-1 redirect must raise the source->target rate";
+}
+
+TEST_F(BfaFixture, TbfaStealthyRespectsOtherClassTolerance) {
+  TbfaConfig cfg;
+  cfg.variant = TbfaVariant::kStealthy;
+  cfg.source = 3;
+  cfg.target = 1;
+  cfg.stealth_tolerance = 0.15;
+  cfg.max_flips = 25;
+  TbfaAttack atk(qm_, ax_, ay_, cfg);
+  const auto res = atk.run();
+  // The admissibility constraint holds after EVERY committed flip, not just
+  // at the end -- an overall-accuracy monitor sampling mid-attack sees
+  // nothing.
+  for (const auto& rec : res.flips) {
+    EXPECT_GE(rec.other_acc_after, atk.clean_other_accuracy() - cfg.stealth_tolerance);
+  }
+  EXPECT_GE(res.final_other_acc, atk.clean_other_accuracy() - cfg.stealth_tolerance);
+}
+
+TEST_F(BfaFixture, TbfaRejectsOutOfRangeOrDegenerateClassPairs) {
+  TbfaConfig cfg;
+  cfg.variant = TbfaVariant::k1To1;
+  cfg.source = 1;
+  cfg.target = 9;  // model has 4 classes
+  EXPECT_THROW(TbfaAttack(qm_, ax_, ay_, cfg), std::invalid_argument);
+  cfg.target = 1;  // source == target
+  EXPECT_THROW(TbfaAttack(qm_, ax_, ay_, cfg), std::invalid_argument);
+  cfg.source = 7;
+  cfg.target = 0;
+  EXPECT_THROW(TbfaAttack(qm_, ax_, ay_, cfg), std::invalid_argument);
+}
+
+TEST_F(BfaFixture, TbfaByteIdenticalAcrossGemmThreadCounts) {
+  // Same determinism contract as the campaign: the GEMM team split must not
+  // change a single committed bit or measured number.
+  auto run_with_threads = [&](usize threads) {
+    const testutil::ThreadsGuard guard;
+    nn::gemm::set_threads(threads);
+    auto model = trained_mlp();
+    quant::QuantizedModel qm(*model);
+    TbfaConfig cfg;
+    cfg.variant = TbfaVariant::kNTo1;
+    cfg.target = 2;
+    cfg.max_flips = 12;
+    TbfaAttack atk(qm, ax_, ay_, cfg);
+    return atk.run();
+  };
+  const auto a = run_with_threads(1);
+  const auto b = run_with_threads(4);
+  ASSERT_EQ(a.flips.size(), b.flips.size());
+  for (usize i = 0; i < a.flips.size(); ++i) {
+    EXPECT_TRUE(a.flips[i].loc == b.flips[i].loc) << "flip " << i;
+    EXPECT_EQ(a.flips[i].loss_after, b.flips[i].loss_after) << "flip " << i;
+    EXPECT_EQ(a.flips[i].asr_after, b.flips[i].asr_after) << "flip " << i;
+    EXPECT_EQ(a.flips[i].other_acc_after, b.flips[i].other_acc_after) << "flip " << i;
+  }
+  EXPECT_EQ(a.final_asr, b.final_asr);
+  EXPECT_EQ(a.final_other_acc, b.final_other_acc);
 }
 
 // ------------------------------------------------------------- DeepHammer --

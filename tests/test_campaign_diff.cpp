@@ -104,6 +104,30 @@ TEST(CampaignDiff, AccuracyDeltaBeyondToleranceIsARegression) {
   EXPECT_FALSE(tolerant.deltas[0].regression);
 }
 
+TEST(CampaignDiff, TargetedMetricsGateLikeAccuracies) {
+  // attack_success_rate / post_attack_other_acc are eval-batch fractions, so
+  // they gate at acc_tol -- including in final-only (cross-regime) mode, where
+  // a drifted ASR is exactly the kind of outcome change the gate exists for.
+  auto base = make_campaign();
+  base.results[0].attack = "tbfa-1-to-1";
+  base.results[0].attack_success_rate = 0.8;
+  base.results[0].post_attack_other_acc = 0.9;
+  auto cur = base;
+  cur.results[0].attack_success_rate = 0.6;
+
+  const auto strict = diff_campaigns(base, cur);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_NE(strict.to_string().find("attack_success_rate"), std::string::npos);
+  EXPECT_FALSE(diff_campaigns(base, cur, DiffConfig{.final_only = true}).ok());
+  EXPECT_TRUE(diff_campaigns(base, cur, DiffConfig{.acc_tol = 0.25}).ok());
+
+  auto stealth = base;
+  stealth.results[0].post_attack_other_acc = 0.4;
+  EXPECT_FALSE(diff_campaigns(base, stealth).ok());
+  EXPECT_NE(diff_campaigns(base, stealth).to_string().find("post_attack_other_acc"),
+            std::string::npos);
+}
+
 TEST(CampaignDiff, FlipCountDeltaHonorsTolerance) {
   const auto base = make_campaign();
   auto cur = base;
@@ -244,14 +268,25 @@ TEST(CampaignFromJson, StrictLoaderRejectsTruncatedOrMissingFieldDocuments) {
   EXPECT_THROW(
       campaign_from_json(
           R"({"scenarios":[{"id":"x","label":"x","model":"m","defense":"d","attack":"a",)"
-          R"("ok":true,"clean_accuracy":0.9,"post_accuracy":0.5,"attempts":0,"landed":0,)"
+          R"("ok":true,"clean_accuracy":0.9,"post_accuracy":0.5,"attack_success_rate":0,)"
+          R"("post_attack_other_acc":0,"attempts":0,"landed":0,)"
           R"("blocked":0,"secured_bits":0,"secured_rows":0,"total_bits":8,"trace":[]}]})"),
+      sys::JsonParseError);
+  // A pre-T-BFA document (no attack_success_rate) must not load with a
+  // defaulted metric: regenerate the baseline instead of diffing against 0.
+  EXPECT_THROW(
+      campaign_from_json(
+          R"({"scenarios":[{"id":"x","label":"x","model":"m","defense":"d","attack":"a",)"
+          R"("ok":true,"clean_accuracy":0.9,"post_accuracy":0.5,"flips":"3","attempts":0,)"
+          R"("landed":0,"blocked":0,"secured_bits":0,"secured_rows":0,"total_bits":8,)"
+          R"("trace":[]}]})"),
       sys::JsonParseError);
   // A failed scenario must carry its error string.
   EXPECT_THROW(
       campaign_from_json(
           R"({"scenarios":[{"id":"x","label":"x","model":"m","defense":"d","attack":"a",)"
-          R"("ok":false,"clean_accuracy":0.9,"post_accuracy":0.5,"flips":"","attempts":0,)"
+          R"("ok":false,"clean_accuracy":0.9,"post_accuracy":0.5,"attack_success_rate":0,)"
+          R"("post_attack_other_acc":0,"flips":"","attempts":0,)"
           R"("landed":0,"blocked":0,"secured_bits":0,"secured_rows":0,"total_bits":8,)"
           R"("trace":[]}]})"),
       sys::JsonParseError);

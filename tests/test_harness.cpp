@@ -104,6 +104,34 @@ TEST(Registry, AxisSlugsRoundTrip) {
   EXPECT_FALSE(is_known_prep_axis("prayer"));
 }
 
+TEST(Registry, UnknownAttackSlugErrorListsValidVocabulary) {
+  // The error is the documentation at the moment of the typo: it must name
+  // every valid slug, and the env-parse path must say WHICH variable held it.
+  try {
+    attack_kind_from_string("voltage-glitch");
+    FAIL() << "unknown slug must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("voltage-glitch"), std::string::npos) << what;
+    for (const auto kind : kAllAttackKinds) {
+      EXPECT_NE(what.find(to_string(kind)), std::string::npos)
+          << "missing slug " << to_string(kind) << " in: " << what;
+    }
+  }
+
+  ASSERT_EQ(setenv("DNND_GRID_ATTACKS", "bfa,voltage-glitch", 1), 0);
+  try {
+    grid_spec_from_env(/*small=*/true);
+    FAIL() << "unknown env slug must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DNND_GRID_ATTACKS"), std::string::npos) << what;
+    EXPECT_NE(what.find("voltage-glitch"), std::string::npos) << what;
+    EXPECT_NE(what.find("tbfa-n-to-1"), std::string::npos) << what;
+  }
+  ASSERT_EQ(unsetenv("DNND_GRID_ATTACKS"), 0);
+}
+
 TEST(Registry, FullCrossProductHasUniqueStableIds) {
   GridSpec spec;
   spec.models = {"resnet20", "vgg11"};

@@ -350,6 +350,115 @@ TEST(Loss, ArgmaxRows) {
   EXPECT_EQ(pred[1], 2u);
 }
 
+TEST(Loss, PerClassEvalMatchesNaiveOracle) {
+  sys::Rng rng(17);
+  constexpr usize kRows = 32;
+  constexpr usize kClasses = 5;
+  Tensor logits({kRows, kClasses});
+  std::vector<u32> labels(kRows);
+  for (usize i = 0; i < logits.size(); ++i) logits[i] = static_cast<float>(rng.normal());
+  for (usize n = 0; n < kRows; ++n) labels[n] = static_cast<u32>(rng.uniform(kClasses));
+
+  constexpr u32 kSource = 2;
+  constexpr u32 kTarget = 0;
+  PerClassEval pce;
+  evaluate_logits_per_class(logits, labels, kSource, kTarget, pce);
+
+  // Overall loss/accuracy must agree exactly with the untargeted evaluator
+  // (same single-logits-tensor contract).
+  const BatchEval ev = evaluate_logits(logits, labels);
+  EXPECT_DOUBLE_EQ(pce.loss, ev.loss);
+  EXPECT_EQ(pce.rows, kRows);
+  EXPECT_DOUBLE_EQ(pce.accuracy(), ev.accuracy);
+
+  // Naive oracle: recount everything from argmax_rows.
+  const auto pred = argmax_rows(logits);
+  std::vector<usize> cls_correct(kClasses, 0);
+  std::vector<usize> cls_total(kClasses, 0);
+  usize src_rows = 0, src_to_tgt = 0, other_rows = 0, other_correct = 0;
+  for (usize n = 0; n < kRows; ++n) {
+    ++cls_total[labels[n]];
+    if (pred[n] == labels[n]) ++cls_correct[labels[n]];
+    if (labels[n] == kSource) {
+      ++src_rows;
+      src_to_tgt += pred[n] == kTarget;
+    } else {
+      ++other_rows;
+      other_correct += pred[n] == labels[n];
+    }
+  }
+  ASSERT_EQ(pce.class_total.size(), kClasses);
+  for (usize c = 0; c < kClasses; ++c) {
+    EXPECT_EQ(pce.class_total[c], cls_total[c]) << "class " << c;
+    EXPECT_EQ(pce.class_correct[c], cls_correct[c]) << "class " << c;
+  }
+  EXPECT_EQ(pce.source_rows, src_rows);
+  EXPECT_EQ(pce.source_to_target, src_to_tgt);
+  EXPECT_EQ(pce.other_rows, other_rows);
+  EXPECT_EQ(pce.other_correct, other_correct);
+}
+
+TEST(Loss, PerClassEvalAllSourcesTreatsEveryNonTargetRowAsSource) {
+  Tensor logits({4, 3});
+  // Rows predict: 1, 1, 0, 2.
+  logits.at2(0, 1) = 3.0f;
+  logits.at2(1, 1) = 3.0f;
+  logits.at2(2, 0) = 3.0f;
+  logits.at2(3, 2) = 3.0f;
+  const std::vector<u32> labels{0, 1, 2, 2};
+  PerClassEval pce;
+  evaluate_logits_per_class(logits, labels, kAllSources, /*target=*/1, pce);
+  // Sources are the rows whose TRUE label != target: rows 0, 2, 3.
+  EXPECT_EQ(pce.source_rows, 3u);
+  EXPECT_EQ(pce.source_to_target, 1u);  // only row 0 is predicted as class 1
+  // The non-source rows are the true-target rows; row 1 is correct.
+  EXPECT_EQ(pce.other_rows, 1u);
+  EXPECT_EQ(pce.other_correct, 1u);
+}
+
+TEST(Loss, PerClassEvalArgmaxTieBreaksToFirstMax) {
+  // All-equal logits: the first class wins, in both the untargeted and the
+  // per-class evaluator (shared argmax) -- pinned so a refactor that flips
+  // tie-breaking cannot silently shift ASR.
+  Tensor logits({2, 3});
+  const std::vector<u32> labels{0, 1};
+  const auto pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 0u);
+  EXPECT_EQ(pred[1], 0u);
+  PerClassEval pce;
+  evaluate_logits_per_class(logits, labels, /*source=*/1, /*target=*/0, pce);
+  EXPECT_EQ(pce.correct, 1u);           // row 0 only
+  EXPECT_EQ(pce.source_rows, 1u);       // row 1
+  EXPECT_EQ(pce.source_to_target, 1u);  // tie-break sends row 1 to class 0
+}
+
+TEST(Loss, TargetedCrossEntropyGradientMatchesFiniteDifference) {
+  sys::Rng rng(19);
+  Tensor logits({3, 4});
+  for (usize i = 0; i < logits.size(); ++i) logits[i] = static_cast<float>(rng.normal());
+  const std::vector<u32> labels{2, 0, 1};
+  constexpr u32 kSource = 2;
+  constexpr u32 kTarget = 0;
+  constexpr double kStealth = 0.7;
+  Tensor dlogits;
+  const double loss =
+      targeted_cross_entropy(logits, labels, kSource, kTarget, kStealth, &dlogits);
+  EXPECT_GT(loss, 0.0);
+  // eps large enough that float-rounded logit perturbations stay accurate
+  // (the per-group 1/n weights make gradient entries O(1), so 1e-4 eps left
+  // ~1e-4 rounding noise in the quotient).
+  constexpr double kEps = 1e-3;
+  for (usize i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(kEps);
+    const double lp = targeted_cross_entropy(logits, labels, kSource, kTarget, kStealth);
+    logits[i] = saved - static_cast<float>(kEps);
+    const double lm = targeted_cross_entropy(logits, labels, kSource, kTarget, kStealth);
+    logits[i] = saved;
+    EXPECT_NEAR(dlogits[i], (lp - lm) / (2 * kEps), 1e-3) << "logit " << i;
+  }
+}
+
 // --------------------------------------------------------------- dataset ----
 
 TEST(Dataset, DeterministicGeneration) {
