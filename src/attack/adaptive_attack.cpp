@@ -1,5 +1,8 @@
 #include "attack/adaptive_attack.hpp"
 
+#include <stdexcept>
+
+#include "attack/probe_engine.hpp"
 #include "nn/simd.hpp"
 
 namespace dnnd::attack {
@@ -14,6 +17,9 @@ AdaptiveWhiteBoxAttack::AdaptiveWhiteBoxAttack(quant::QuantizedModel& qm, nn::Te
       eval_x_(std::move(eval_x)),
       eval_y_(std::move(eval_y)),
       cfg_(cfg) {
+  if (cfg_.measure_every == 0) {
+    throw std::invalid_argument("adaptive attack: measure_every must be nonzero");
+  }
   // Freeze int8 activation scales over both batches the attack forwards on
   // (no-op in the float regime; scales only widen with extra batches).
   qm_.ensure_int8_calibrated(attack_x_);
@@ -28,15 +34,16 @@ AdaptiveAttackResult AdaptiveWhiteBoxAttack::run(const quant::BitSkipSet& secure
   // therefore starts at the clean accuracy.
   result.accuracy_trace.push_back(qm_.model().evaluate_batch_incremental(eval_x_, eval_y_).accuracy);
 
-  // Adapted search: progressive bit search that skips the secured set, i.e.
-  // only unprotected bits can land. The eval-batch measurements use the
-  // incremental helper: it degrades to a full forward whenever the preceding
-  // step left the cache on the attack batch, and reuses it otherwise.
-  BfaConfig bfa_cfg = cfg_.bfa;
-  bfa_cfg.max_flips = cfg_.max_additional_flips;
-  ProgressiveBitSearch search(qm_, attack_x_, attack_y_, bfa_cfg);
+  // Adapted search: the untargeted probe engine with the secured set as a
+  // standing skip, i.e. only unprotected bits can land. The eval-batch
+  // measurements use the incremental helper: it degrades to a full forward
+  // whenever the preceding step left the cache on the attack batch, and
+  // reuses it otherwise.
+  UntargetedCeObjective objective;
+  ProbeEngine engine(qm_, attack_x_, attack_y_, objective,
+                     {cfg_.bfa.candidates_per_layer, cfg_.bfa.layers_evaluated});
   for (usize k = 1; k <= cfg_.max_additional_flips; ++k) {
-    auto rec = search.step(secured);
+    auto rec = engine.step(secured);
     if (!rec.has_value()) break;
     result.landed_flips.push_back(rec->loc);
     if (k % cfg_.measure_every == 0 || k == cfg_.max_additional_flips) {

@@ -7,12 +7,14 @@
 // *actual* loss by flipping/unflipping, (4) commit the argmax flip.
 // The search stops when accuracy on the attack batch falls to the random
 // guess level (the paper's "DNN malfunction") or the flip budget runs out.
+//
+// The loop itself lives in attack::ProbeEngine; this driver pairs it with
+// the untargeted cross-entropy maximizer and the stop/budget policy.
 #pragma once
 
 #include <optional>
 
-#include "nn/dataset.hpp"
-#include "quant/bit_gradient.hpp"
+#include "attack/probe_engine.hpp"
 
 namespace dnnd::attack {
 
@@ -46,15 +48,6 @@ struct BfaResult {
   bool reached_stop = false;
 };
 
-/// Ordering key for probe losses: NaN maps to +infinity, everything else to
-/// itself. A flip that saturates the logits to +-inf yields NaN cross-entropy
-/// (inf - inf inside the softmax); to a loss-maximising attacker that is the
-/// most destructive outcome available, not an invisible one -- but NaN
-/// compares false under every ordering, so a bare `>` silently discarded
-/// exactly those probes. All BFA-family candidate comparisons go through
-/// this key, and committed records carry the normalized (+inf) loss.
-double probe_loss_key(double loss);
-
 class ProgressiveBitSearch {
  public:
   /// `attack_x`/`attack_y` is the attacker's sample batch (the paper uses 128
@@ -74,12 +67,9 @@ class ProgressiveBitSearch {
   [[nodiscard]] double stop_threshold() const;
 
  private:
-  quant::QuantizedModel& qm_;
-  nn::Tensor attack_x_;
-  std::vector<u32> attack_y_;
   BfaConfig cfg_;
-  usize num_classes_;
-  quant::BitSkipSet flipped_;  ///< bits this search has already committed
+  UntargetedCeObjective objective_;
+  ProbeEngine engine_;
 };
 
 }  // namespace dnnd::attack

@@ -1,0 +1,99 @@
+// The probe/rank/price/commit loop every searching attacker shares.
+//
+// One engine step, parameterized by an attack::Objective:
+//   (1) zero gradients, objective->prepare(): base objective + bit gradients,
+//   (2) exclusion bookkeeping: the caller's skip set plus every bit this
+//       engine has already committed (the search never re-flips),
+//   (3) intra-layer search: per-layer top-k candidates by first-order gain
+//       (quant::top_k_flips over the accumulated gradients),
+//   (4) inter-layer search: restrict to the most promising layers, then price
+//       each shortlisted candidate EXACTLY by flip -> incremental
+//       forward_from(net_layer) -> objective->measure -> unflip,
+//   (5) commit the best admissible improving flip (probe_loss_key ordering,
+//       so a NaN-saturating probe ranks as +inf: a win for a maximizer, a
+//       loss for a minimizer), optionally falling back to the best
+//       first-order estimate when the objective allows it.
+//
+// The constructor owns the shared preamble: freeze int8 activation scales
+// over the attack batch (no-op in the float regime) and warm the activation
+// cache with one full forward, which also resolves the model's class count.
+//
+// ProgressiveBitSearch (BFA), TbfaAttack, AdaptiveWhiteBoxAttack, the
+// white-box DRAM system loop, and VwaLimitedAttack are all thin drivers over
+// this engine; their campaign results are byte-identical to the pre-engine
+// per-family loops (the tiny-grid golden gates this at zero tolerance).
+#pragma once
+
+#include <optional>
+
+#include "attack/objective.hpp"
+
+namespace dnnd::attack {
+
+/// Ordering key for probe losses: NaN maps to +infinity, everything else to
+/// itself. A flip that saturates the logits to +-inf yields NaN cross-entropy
+/// (inf - inf inside the softmax); to a loss-maximising attacker that is the
+/// most destructive outcome available, not an invisible one -- but NaN
+/// compares false under every ordering, so a bare `>` silently discarded
+/// exactly those probes. All candidate comparisons go through this key, and
+/// committed records carry the normalized (+inf) objective. The key is
+/// idempotent, so the engine's running best stays normalized.
+double probe_loss_key(double loss);
+
+struct ProbeEngineConfig {
+  usize candidates_per_layer = 2;  ///< top-k per layer for the exact evaluation
+  usize layers_evaluated = 6;      ///< evaluate only the best n layers by estimate
+                                   ///< (0 = all layers; >0 is a perf knob that
+                                   ///< rarely changes the argmax)
+};
+
+/// One committed engine step.
+struct EngineStep {
+  quant::BitLocation loc;
+  double objective_before = 0.0;  ///< base objective at the top of the step
+  double objective_after = 0.0;   ///< committed probe's key-normalized objective
+  /// The committed flip's measurement (the probe's scores: committing
+  /// restores the exact probed state; re-measured only on fallback).
+  ProbeMeasurement best;
+  /// True when no evaluated candidate improved the objective and the engine
+  /// fell back to the best first-order estimate (greedy escape; never
+  /// re-flips a bit, so the search still terminates).
+  bool fallback = false;
+};
+
+class ProbeEngine {
+ public:
+  /// `attack_x`/`attack_y` is the attacker's sample batch. `objective` must
+  /// outlive the engine (drivers own both).
+  ProbeEngine(quant::QuantizedModel& qm, nn::Tensor attack_x, std::vector<u32> attack_y,
+              Objective& objective, ProbeEngineConfig cfg = {});
+
+  /// Finds and commits the single best admissible flip not in `skip` (and not
+  /// committed by this engine before). Returns nullopt when the candidate
+  /// space is exhausted, or when nothing improves and the objective forbids
+  /// the first-order fallback.
+  std::optional<EngineStep> step(const quant::BitSkipSet& skip);
+
+  [[nodiscard]] quant::QuantizedModel& qm() { return qm_; }
+  [[nodiscard]] const nn::Tensor& x() const { return attack_x_; }
+  [[nodiscard]] const std::vector<u32>& y() const { return attack_y_; }
+  /// Class count from the model's output dimension (NOT the labels present
+  /// in the batch, which could omit classes and skew stop thresholds).
+  [[nodiscard]] usize num_classes() const { return num_classes_; }
+  /// Logits of the constructor's clean warm-up forward. Valid until the next
+  /// forward on the model -- drivers use it for clean-state measurements
+  /// immediately after construction.
+  [[nodiscard]] const nn::Tensor& clean_logits() const { return *clean_logits_; }
+
+ private:
+  quant::QuantizedModel& qm_;
+  nn::Tensor attack_x_;
+  std::vector<u32> attack_y_;
+  Objective& objective_;
+  ProbeEngineConfig cfg_;
+  usize num_classes_;
+  const nn::Tensor* clean_logits_;
+  quant::BitSkipSet flipped_;  ///< bits this engine has already committed
+};
+
+}  // namespace dnnd::attack

@@ -1,5 +1,7 @@
 #include "attack/random_attack.hpp"
 
+#include <stdexcept>
+
 namespace dnnd::attack {
 
 quant::BitLocation RandomBitAttack::flip_one(const quant::BitSkipSet& skip) {
@@ -22,6 +24,10 @@ quant::BitLocation RandomBitAttack::flip_one(const quant::BitSkipSet& skip) {
 
 RandomAttackResult RandomBitAttack::run(usize n_flips, const nn::Tensor& x,
                                         const std::vector<u32>& y, usize measure_every) {
+  if (measure_every == 0) {
+    // i % 0 below is undefined behavior, not "measure never".
+    throw std::invalid_argument("random attack: measure_every must be nonzero");
+  }
   RandomAttackResult result;
   qm_.ensure_int8_calibrated(x);  // no-op in the default float regime
   // Every measurement is on the same batch: after the first full forward,

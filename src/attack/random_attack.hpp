@@ -24,7 +24,8 @@ class RandomBitAttack {
   quant::BitLocation flip_one(const quant::BitSkipSet& skip = {});
 
   /// Flips `n_flips` random bits, recording accuracy on (x, y) every
-  /// `measure_every` flips.
+  /// `measure_every` flips. Throws std::invalid_argument when
+  /// `measure_every` is zero (the sampling period has no "never" setting).
   RandomAttackResult run(usize n_flips, const nn::Tensor& x, const std::vector<u32>& y,
                          usize measure_every = 10);
 

@@ -1,11 +1,8 @@
 #include "attack/tbfa.hpp"
 
-#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
-
-#include "attack/bfa.hpp"  // probe_loss_key
 
 namespace dnnd::attack {
 
@@ -15,17 +12,16 @@ double TbfaAttack::stealth_weight() const {
 
 TbfaAttack::TbfaAttack(quant::QuantizedModel& qm, nn::Tensor attack_x,
                        std::vector<u32> attack_y, TbfaConfig cfg)
-    : qm_(qm), attack_x_(std::move(attack_x)), attack_y_(std::move(attack_y)), cfg_(cfg) {
-  // Freeze int8 activation scales before the first measurement (no-op in the
-  // default float regime), same contract as ProgressiveBitSearch.
-  qm_.ensure_int8_calibrated(attack_x_);
-  source_ = cfg_.variant == TbfaVariant::kNTo1 ? nn::kAllSources : cfg_.source;
-
-  // Clean measurement; its forward also validates the class selectors against
-  // the model's output dimension and warms the cache the first step() reuses.
-  const nn::Tensor& logits =
-      qm_.model().forward_cached(attack_x_, /*train=*/false);
-  const usize num_classes = logits.dim(1);
+    : cfg_(cfg),
+      source_(cfg.variant == TbfaVariant::kNTo1 ? nn::kAllSources : cfg.source),
+      objective_(source_, cfg.target, stealth_weight(),
+                 cfg.variant == TbfaVariant::kStealthy, cfg.stealth_tolerance),
+      // The engine's preamble is the shared contract: freeze int8 activation
+      // scales (no-op in the default float regime) and warm the cache with
+      // one clean forward the validation below reads the class count from.
+      engine_(qm, std::move(attack_x), std::move(attack_y), objective_,
+              {cfg.candidates_per_layer, cfg.layers_evaluated}) {
+  const usize num_classes = engine_.num_classes();
   if (cfg_.target >= num_classes) {
     throw std::invalid_argument("tbfa: target class " + std::to_string(cfg_.target) +
                                 " out of range (model has " +
@@ -42,94 +38,27 @@ TbfaAttack::TbfaAttack(quant::QuantizedModel& qm, nn::Tensor attack_x,
                                   std::to_string(cfg_.source) + ")");
     }
   }
-  nn::evaluate_logits_per_class(logits, attack_y_, source_, cfg_.target, scratch_);
-  clean_asr_ = scratch_.attack_success_rate();
-  clean_other_acc_ = scratch_.other_accuracy();
+  // Clean measurement from the warm-up logits; the baseline anchors both the
+  // result's initial ASR and the stealthy admission predicate.
+  nn::PerClassEval clean;
+  nn::evaluate_logits_per_class(engine_.clean_logits(), engine_.y(), source_, cfg_.target,
+                                clean);
+  clean_asr_ = clean.attack_success_rate();
+  clean_other_acc_ = clean.other_accuracy();
+  objective_.set_stealth_baseline(clean_other_acc_);
 }
 
 std::optional<TbfaFlip> TbfaAttack::step(const quant::BitSkipSet& skip) {
-  nn::Model& model = qm_.model();
-
-  // (1) gradients of the NEGATED targeted objective. top_k_flips keeps only
-  // candidates whose first-order effect RAISES the accumulated objective, so
-  // accumulating d(-L) selects exactly the flips estimated to LOWER the
-  // targeted loss -- the attacker here is a minimiser, not a maximiser.
-  model.zero_grad();
-  const nn::Tensor& logits = model.forward_incremental_logits(attack_x_);
-  const double base_loss = nn::targeted_cross_entropy(logits, attack_y_, source_,
-                                                      cfg_.target, stealth_weight(),
-                                                      &dlogits_);
-  for (usize i = 0; i < dlogits_.size(); ++i) dlogits_[i] = -dlogits_[i];
-  model.backward(dlogits_);
-
-  quant::BitSkipSet exclude = skip;
-  for (const auto& loc : flipped_.to_vector()) exclude.insert(loc);
-
-  // (2) intra-layer search: per-layer top-k candidates by first-order gain.
-  struct LayerBest {
-    usize layer;
-    std::vector<quant::FlipCandidate> cands;
-  };
-  std::vector<LayerBest> per_layer;
-  for (usize l = 0; l < qm_.num_layers(); ++l) {
-    auto cands = quant::top_k_flips(qm_.layer(l), l, cfg_.candidates_per_layer, exclude);
-    if (!cands.empty()) per_layer.push_back({l, std::move(cands)});
-  }
-  if (per_layer.empty()) return std::nullopt;
-  if (cfg_.layers_evaluated > 0 && per_layer.size() > cfg_.layers_evaluated) {
-    std::partial_sort(per_layer.begin(),
-                      per_layer.begin() + static_cast<isize>(cfg_.layers_evaluated),
-                      per_layer.end(), [](const LayerBest& a, const LayerBest& b) {
-                        return a.cands.front().estimated_gain >
-                               b.cands.front().estimated_gain;
-                      });
-    per_layer.resize(cfg_.layers_evaluated);
-  }
-
-  // (3) inter-layer search: price each shortlisted candidate exactly by
-  // flip / incremental forward / unflip; keep the admissible one with the
-  // lowest objective. probe_loss_key maps NaN to +inf, so a saturating flip
-  // always LOSES for a minimiser (the dual of its role in the untargeted
-  // search, where +inf wins).
-  std::optional<quant::BitLocation> best_loc;
-  double best_key = probe_loss_key(base_loss);
+  auto es = engine_.step(skip);
+  if (!es.has_value()) return std::nullopt;
   TbfaFlip best;
-  for (const LayerBest& lb : per_layer) {
-    for (const quant::FlipCandidate& cand : lb.cands) {
-      qm_.flip(cand.loc);
-      const nn::Tensor& plogits =
-          model.forward_from(qm_.layer(cand.loc.layer).net_layer, /*train=*/false);
-      nn::evaluate_logits_per_class(plogits, attack_y_, source_, cfg_.target, scratch_);
-      const double ploss = nn::targeted_cross_entropy(plogits, attack_y_, source_,
-                                                      cfg_.target, stealth_weight());
-      qm_.flip(cand.loc);  // revert
-      if (cfg_.variant == TbfaVariant::kStealthy &&
-          scratch_.other_accuracy() < clean_other_acc_ - cfg_.stealth_tolerance) {
-        continue;  // inadmissible: the collateral damage would expose the attack
-      }
-      const double key = probe_loss_key(ploss);
-      if (key < best_key) {
-        best_key = key;
-        best_loc = cand.loc;
-        // The probe measurements ARE the post-commit measurements (committing
-        // restores the exact probed state), so record them now.
-        best.asr_after = scratch_.attack_success_rate();
-        best.other_acc_after = scratch_.other_accuracy();
-      }
-    }
-  }
-  // No admissible candidate lowers the objective: stop. Deliberately no
-  // first-order-estimate fallback -- an untargeted attack can thrash its way
-  // out of a plateau, a targeted (and especially a stealthy) one would only
-  // burn budget on flips that hurt its own objective.
-  if (!best_loc.has_value()) return std::nullopt;
-
-  // (4) commit
-  qm_.flip(*best_loc);
-  flipped_.insert(*best_loc);
-  best.loc = *best_loc;
-  best.loss_before = base_loss;
-  best.loss_after = best_key;
+  best.loc = es->loc;
+  best.loss_before = es->objective_before;
+  best.loss_after = es->objective_after;
+  // The probe measurements ARE the post-commit measurements (committing
+  // restores the exact probed state).
+  best.asr_after = es->best.asr;
+  best.other_acc_after = es->best.other_accuracy;
   if (cfg_.verbose) {
     std::printf("[tbfa] flip layer=%zu idx=%zu bit=%u loss %.4f -> %.4f asr=%.3f other=%.3f\n",
                 best.loc.layer, best.loc.index, best.loc.bit, best.loss_before,

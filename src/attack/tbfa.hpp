@@ -12,18 +12,16 @@
 //             tolerance of its clean value, so the attack is invisible to an
 //             overall-accuracy monitor.
 //
-// Built on the same incremental-probe machinery as ProgressiveBitSearch:
-// bit gradients of the (negated) targeted objective rank candidates per
-// layer, flip / forward_from / unflip prices the shortlist exactly, and the
-// best admissible loss-DECREASING flip commits. Success is measured as the
-// attack success rate (ASR): the fraction of source rows predicted as the
-// target class.
+// A thin driver over attack::ProbeEngine paired with the targeted
+// cross-entropy minimizer (negated-gradient candidate ranking, stealthy
+// admission as the objective-level constraint, deliberately no
+// first-order-estimate fallback). Success is measured as the attack success
+// rate (ASR): the fraction of source rows predicted as the target class.
 #pragma once
 
 #include <optional>
 
-#include "nn/dataset.hpp"
-#include "quant/bit_gradient.hpp"
+#include "attack/probe_engine.hpp"
 
 namespace dnnd::attack {
 
@@ -98,16 +96,12 @@ class TbfaAttack {
  private:
   [[nodiscard]] double stealth_weight() const;
 
-  quant::QuantizedModel& qm_;
-  nn::Tensor attack_x_;
-  std::vector<u32> attack_y_;
   TbfaConfig cfg_;
   u32 source_ = 0;
+  TargetedCeObjective objective_;
+  ProbeEngine engine_;
   double clean_asr_ = 0.0;
   double clean_other_acc_ = 0.0;
-  nn::PerClassEval scratch_;   ///< probe measurements (allocation-free reuse)
-  nn::Tensor dlogits_;         ///< gradient scratch for the targeted objective
-  quant::BitSkipSet flipped_;  ///< bits this search has already committed
 };
 
 }  // namespace dnnd::attack

@@ -1,51 +1,61 @@
-#include "attack/bfa.hpp"
+#include "attack/vwa.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace dnnd::attack {
 
-ProgressiveBitSearch::ProgressiveBitSearch(quant::QuantizedModel& qm, nn::Tensor attack_x,
-                                           std::vector<u32> attack_y, BfaConfig cfg)
+VwaLimitedAttack::VwaLimitedAttack(quant::QuantizedModel& qm, nn::Tensor attack_x,
+                                   std::vector<u32> attack_y, VwaLimitedConfig cfg)
     : cfg_(cfg),
-      objective_(/*allow_fallback=*/true),
+      objective_(/*allow_fallback=*/false),
       engine_(qm, std::move(attack_x), std::move(attack_y), objective_,
-              {cfg.candidates_per_layer, cfg.layers_evaluated}) {}
+              {cfg.candidates_per_layer, cfg.layers_evaluated}) {
+  if (cfg_.flip_budget == 0) {
+    throw std::invalid_argument("vwa-limited: flip_budget must be nonzero");
+  }
+}
 
-double ProgressiveBitSearch::stop_threshold() const {
+double VwaLimitedAttack::stop_threshold() const {
   return cfg_.stop_accuracy > 0.0 ? cfg_.stop_accuracy
                                   : 1.05 / static_cast<double>(engine_.num_classes());
 }
 
-std::optional<FlipRecord> ProgressiveBitSearch::step(const quant::BitSkipSet& skip) {
+std::optional<VwaFlip> VwaLimitedAttack::step(const quant::BitSkipSet& skip) {
   auto es = engine_.step(skip);
   if (!es.has_value()) return std::nullopt;
-  FlipRecord rec;
+  VwaFlip rec;
   rec.loc = es->loc;
   rec.loss_before = es->objective_before;
   rec.loss_after = es->objective_after;
   rec.batch_accuracy_after = es->best.accuracy;
-  rec.fallback = es->fallback;
   if (cfg_.verbose) {
-    std::printf("[bfa] flip layer=%zu idx=%zu bit=%u loss %.4f -> %.4f acc=%.3f\n",
+    std::printf("[vwa] flip layer=%zu idx=%zu bit=%u loss %.4f -> %.4f acc=%.3f\n",
                 rec.loc.layer, rec.loc.index, rec.loc.bit, rec.loss_before, rec.loss_after,
                 rec.batch_accuracy_after);
   }
   return rec;
 }
 
-BfaResult ProgressiveBitSearch::run(const quant::BitSkipSet& skip) {
-  BfaResult result;
+VwaLimitedResult VwaLimitedAttack::run(const quant::BitSkipSet& skip) {
+  VwaLimitedResult result;
   result.initial_batch_accuracy =
       engine_.qm().model().evaluate_batch(engine_.x(), engine_.y()).accuracy;
   result.final_batch_accuracy = result.initial_batch_accuracy;
   const double stop = stop_threshold();
-  for (usize i = 0; i < cfg_.max_flips; ++i) {
+  // Budget exhaustion is the default outcome: the loop only overrides it
+  // when it ends for a different reason.
+  result.outcome = VwaOutcome::kBudgetExhausted;
+  for (usize i = 0; i < cfg_.flip_budget; ++i) {
     auto rec = step(skip);
-    if (!rec.has_value()) break;
+    if (!rec.has_value()) {
+      result.outcome = VwaOutcome::kCandidatesExhausted;
+      break;
+    }
     result.final_batch_accuracy = rec->batch_accuracy_after;
     result.flips.push_back(*rec);
     if (rec->batch_accuracy_after <= stop) {
-      result.reached_stop = true;
+      result.outcome = VwaOutcome::kReachedStop;
       break;
     }
   }

@@ -10,6 +10,7 @@
 #include "attack/adaptive_attack.hpp"
 #include "attack/random_attack.hpp"
 #include "attack/tbfa.hpp"
+#include "attack/vwa.hpp"
 #include "core/priority_profiler.hpp"
 #include "defense/software_defenses.hpp"
 #include "mapping/weight_mapping.hpp"
@@ -195,6 +196,33 @@ void run_scenario_impl(const Scenario& sc, ArtifactCache& cache, ScenarioResult&
       r.post_accuracy = res.final_accuracy;
       r.flips =
           std::to_string(res.attempts) + " (" + std::to_string(res.landed) + " landed)";
+      return;
+    }
+
+    case AttackKind::kVwaLimited: {
+      attack::VwaLimitedConfig vcfg = {};
+      vcfg.flip_budget = sc.vwa_budget;
+      vcfg.stop_accuracy = stop_acc;
+      attack::VwaLimitedAttack atk(qm, ax, ay, vcfg);
+      const auto res = atk.run();
+      r.post_accuracy = eval_acc();
+      // The three outcomes get three flips spellings -- all parseable by
+      // leading_flip_count, all distinct under the zero-tolerance gate:
+      //   "4"          stop accuracy reached in 4 flips,
+      //   "4 (budget)" the whole 4-flip budget spent without reaching stop
+      //                (the nominal limited-bit result, NOT a failure),
+      //   ">2"         candidates dried up after 2 flips, budget unspent.
+      switch (res.outcome) {
+        case attack::VwaOutcome::kReachedStop:
+          r.flips = std::to_string(res.flips.size());
+          break;
+        case attack::VwaOutcome::kBudgetExhausted:
+          r.flips = std::to_string(res.flips.size()) + " (budget)";
+          break;
+        case attack::VwaOutcome::kCandidatesExhausted:
+          r.flips = ">" + std::to_string(res.flips.size());
+          break;
+      }
       return;
     }
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "models/model_zoo.hpp"
+#include "sys/env.hpp"
 
 namespace dnnd::harness {
 
@@ -332,6 +333,25 @@ std::vector<Scenario> tiny_test_grid() {
     sc.max_flips = 10;
     grid.push_back(common(sc));
   }
+  {
+    // Budget small enough that the tiny MLP survives it: pins the
+    // "N (budget)" spelling (budget exhausted before stop accuracy).
+    Scenario sc;
+    sc.id = "tiny/vwa-limited";
+    sc.attack = AttackKind::kVwaLimited;
+    sc.vwa_budget = 4;
+    grid.push_back(common(sc));
+  }
+  {
+    // Generous budget with a reachable stop level: pins the bare-count
+    // spelling (early stop with budget left over).
+    Scenario sc;
+    sc.id = "tiny/vwa-limited-stop";
+    sc.attack = AttackKind::kVwaLimited;
+    sc.vwa_budget = 20;
+    sc.stop_accuracy = 0.5;
+    grid.push_back(common(sc));
+  }
   return grid;
 }
 
@@ -420,6 +440,7 @@ std::vector<Scenario> enumerate_grid(const GridSpec& spec) {
             sc.eval_batch = spec.small ? 120 : 300;
             sc.max_flips = attack == AttackKind::kRandom ? (spec.small ? 40 : 150)
                                                          : (spec.small ? 12 : 40);
+            sc.vwa_budget = spec.vwa_budget;
             sc.measure_every = 10;
             sc.hw_attempts = spec.small ? 12 : 30;
             grid.push_back(std::move(sc));
@@ -483,6 +504,7 @@ GridSpec grid_spec_from_env(bool small) {
   if (const char* v = std::getenv("DNND_GRID_FULL_PRODUCT"); v != nullptr && v[0] == '1') {
     spec.prune_incoherent = false;
   }
+  spec.vwa_budget = sys::env_usize("DNND_VWA_BUDGET", spec.vwa_budget);
   return spec;
 }
 

@@ -60,6 +60,8 @@ struct GridSpec {
   /// "graphene", "hydra", "dnn-defender".
   std::vector<std::string> defenses = {"none", "rrs", "srs", "shadow", "dnn-defender"};
   DatasetKind dataset = DatasetKind::kCifar10Like;
+  /// Hard flip budget of kVwaLimited cells (DNND_VWA_BUDGET).
+  usize vwa_budget = 10;
   bool small = true;
   /// Drop cells whose defense cannot engage the attack kind (e.g. a DRAM
   /// mitigation against a model-level BFA, which never touches the device).

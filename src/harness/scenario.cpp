@@ -25,6 +25,7 @@ std::string to_string(AttackKind kind) {
     case AttackKind::kTbfaNTo1: return "tbfa-n-to-1";
     case AttackKind::kTbfa1To1: return "tbfa-1-to-1";
     case AttackKind::kTbfaStealthy: return "tbfa-stealthy";
+    case AttackKind::kVwaLimited: return "vwa-limited";
   }
   return "unknown";
 }

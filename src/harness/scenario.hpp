@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
 
@@ -36,6 +37,7 @@ enum class AttackKind {
   kTbfaNTo1,      ///< T-BFA: redirect every class to the target class
   kTbfa1To1,      ///< T-BFA: redirect one source class to the target class
   kTbfaStealthy,  ///< T-BFA 1-to-1 under the other-class accuracy constraint
+  kVwaLimited,    ///< limited-bit budget attack (best damage at <= B flips)
 };
 
 /// True for the class-targeted T-BFA family (the kinds whose results carry
@@ -59,7 +61,16 @@ inline constexpr AttackKind kAllAttackKinds[] = {
     AttackKind::kBfa,          AttackKind::kBinaryBfa, AttackKind::kRandom,
     AttackKind::kAdaptive,     AttackKind::kDramWhiteBox,
     AttackKind::kTbfaNTo1,     AttackKind::kTbfa1To1,  AttackKind::kTbfaStealthy,
+    AttackKind::kVwaLimited,
 };
+/// Declared AttackKind count -- bump together with the enum. The assert
+/// keeps the array from silently lagging the enum; the runtime round-trip
+/// test (test_harness Registry.AxisSlugsRoundTrip) walks [0, count) through
+/// to_string/attack_kind_from_string, which additionally catches an
+/// enumerator missing from the array or from the to_string switch.
+inline constexpr usize kAttackKindCount = 9;
+static_assert(std::size(kAllAttackKinds) == kAttackKindCount,
+              "kAllAttackKinds must enumerate every AttackKind");
 inline constexpr SoftwarePrep kAllSoftwarePreps[] = {
     SoftwarePrep::kNone,
     SoftwarePrep::kBinaryFinetune,
@@ -117,6 +128,7 @@ struct Scenario {
   usize attack_batch = 32;   ///< attacker's gradient/search batch
   usize eval_batch = 300;    ///< held-out accuracy measurement batch
   usize max_flips = 60;      ///< flip budget (software attacks)
+  usize vwa_budget = 10;     ///< hard flip budget B (kVwaLimited)
   usize measure_every = 10;  ///< accuracy sampling period (trace attacks)
   usize hw_attempts = 30;    ///< DRAM flip-attempt budget (kDramWhiteBox)
   /// Stop when eval accuracy falls to this; 0 = 1.1 x random-guess level.

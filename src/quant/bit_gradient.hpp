@@ -19,6 +19,12 @@ namespace dnnd::quant {
 class BitSkipSet {
  public:
   void insert(const BitLocation& loc) { keys_.insert(loc.key()); }
+  /// Set union: merges `other` without materializing BitLocations (the
+  /// ProbeEngine folds its committed-flip set into the caller's skip set
+  /// once per step, so this is on the search hot path).
+  void insert_all(const BitSkipSet& other) {
+    keys_.insert(other.keys_.begin(), other.keys_.end());
+  }
   [[nodiscard]] bool contains(const BitLocation& loc) const {
     return keys_.count(loc.key()) != 0;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "attack/probe_engine.hpp"
+
 namespace dnnd::system {
 
 using dram::RowAddr;
@@ -106,11 +108,17 @@ SystemAttackResult ProtectedSystem::run_white_box_attack(
   result.initial_accuracy = qm_.model().evaluate_batch(eval_x, eval_y).accuracy;
   result.final_accuracy = result.initial_accuracy;
 
-  attack::ProgressiveBitSearch search(qm_, attack_x, attack_y, bfa_cfg);
+  // The attacker's offline search is the shared probe engine with the
+  // untargeted objective -- the white-box twist is purely in the loop below:
+  // proposals are carried through the DRAM substrate, and blocked attempts
+  // teach the attacker a skip set.
+  attack::UntargetedCeObjective objective;
+  attack::ProbeEngine engine(qm_, attack_x, attack_y, objective,
+                             {bfa_cfg.candidates_per_layer, bfa_cfg.layers_evaluated});
   quant::BitSkipSet learned_blocked;
   while (result.attempts < max_attempts) {
     // Offline proposal on the attacker's copy (== current synced state).
-    auto rec = search.step(learned_blocked);
+    auto rec = engine.step(learned_blocked);
     if (!rec.has_value()) break;
     qm_.flip(rec->loc);  // undo the search's commit; DRAM is authoritative
     const attack::FlipAttempt attempt = attack_bit(rec->loc);

@@ -8,6 +8,7 @@
 #include "attack/deephammer.hpp"
 #include "attack/random_attack.hpp"
 #include "attack/tbfa.hpp"
+#include "attack/vwa.hpp"
 #include "test_util.hpp"
 
 namespace dnnd::attack {
@@ -180,6 +181,21 @@ TEST_F(BfaFixture, RandomAttackRespectsSkipSet) {
   }
 }
 
+TEST_F(BfaFixture, RandomAttackZeroMeasurePeriodThrows) {
+  // Regression: measure_every == 0 used to reach `flips % measure_every`
+  // (division by zero) instead of failing loudly at the API boundary.
+  RandomBitAttack rnd(qm_, sys::Rng(3));
+  EXPECT_THROW(rnd.run(10, ax_, ay_, /*measure_every=*/0), std::invalid_argument);
+}
+
+TEST_F(BfaFixture, AdaptiveAttackZeroMeasurePeriodThrows) {
+  auto [ex, ey] = easy_data().test.head(60);
+  AdaptiveAttackConfig cfg;
+  cfg.measure_every = 0;
+  EXPECT_THROW(AdaptiveWhiteBoxAttack(qm_, ax_, ay_, ex, ey, cfg),
+               std::invalid_argument);
+}
+
 TEST_F(BfaFixture, AdaptiveAttackTraceShape) {
   auto [ex, ey] = easy_data().test.head(60);
   AdaptiveAttackConfig cfg;
@@ -342,6 +358,95 @@ TEST_F(BfaFixture, TbfaByteIdenticalAcrossGemmThreadCounts) {
   }
   EXPECT_EQ(a.final_asr, b.final_asr);
   EXPECT_EQ(a.final_other_acc, b.final_other_acc);
+}
+
+// ------------------------------------------------------------ VWA-limited --
+
+TEST_F(BfaFixture, VwaNeverExceedsHardFlipBudget) {
+  const auto snap = qm_.snapshot();
+  VwaLimitedConfig cfg;
+  cfg.flip_budget = 5;
+  VwaLimitedAttack atk(qm_, ax_, ay_, cfg);
+  const auto res = atk.run();
+  EXPECT_LE(res.flips.size(), 5u);
+  EXPECT_LE(qm_.hamming_distance(snap), 5u);
+  if (res.budget_exhausted()) {
+    EXPECT_EQ(res.flips.size(), 5u);
+  }
+}
+
+TEST_F(BfaFixture, VwaBudgetExhaustionIsDistinctFromReachingStop) {
+  // Tight budget, unreachable stop: the nominal limited-bit outcome.
+  VwaLimitedConfig tight;
+  tight.flip_budget = 3;
+  VwaLimitedAttack limited(qm_, ax_, ay_, tight);
+  const auto spent = limited.run();
+  EXPECT_EQ(spent.outcome, VwaOutcome::kBudgetExhausted);
+  EXPECT_FALSE(spent.reached_stop());
+  EXPECT_GT(spent.final_batch_accuracy, limited.stop_threshold());
+
+  // Generous budget, reachable stop: must be reported as kReachedStop, with
+  // the budget left partly unspent.
+  auto model2 = trained_mlp();
+  quant::QuantizedModel qm2(*model2);
+  VwaLimitedConfig loose;
+  loose.flip_budget = 60;
+  loose.stop_accuracy = 0.55;
+  VwaLimitedAttack stopper(qm2, ax_, ay_, loose);
+  const auto stopped = stopper.run();
+  EXPECT_EQ(stopped.outcome, VwaOutcome::kReachedStop);
+  EXPECT_LE(stopped.final_batch_accuracy, 0.55);
+  EXPECT_LT(stopped.flips.size(), 60u);
+}
+
+TEST_F(BfaFixture, VwaZeroBudgetThrows) {
+  VwaLimitedConfig cfg;
+  cfg.flip_budget = 0;
+  EXPECT_THROW(VwaLimitedAttack(qm_, ax_, ay_, cfg), std::invalid_argument);
+}
+
+TEST_F(BfaFixture, VwaMatchesBfaFlipSequenceUntilFirstFallback) {
+  // Seam-equivalence: both drivers sit on the same ProbeEngine with the same
+  // untargeted objective, so their committed flips must be bit-identical
+  // until BFA's first fallback step (which vwa-limited disables by design).
+  BfaConfig bcfg;
+  bcfg.max_flips = 8;
+  bcfg.stop_accuracy = 0.01;  // unreachable: neither driver stops early
+  ProgressiveBitSearch bfa(qm_, ax_, ay_, bcfg);
+  const auto bfa_res = bfa.run();
+
+  auto model2 = trained_mlp();
+  quant::QuantizedModel qm2(*model2);
+  VwaLimitedConfig vcfg;
+  vcfg.flip_budget = 8;
+  vcfg.stop_accuracy = 0.01;
+  VwaLimitedAttack vwa(qm2, ax_, ay_, vcfg);
+  const auto vwa_res = vwa.run();
+
+  usize compared = 0;
+  for (usize i = 0; i < bfa_res.flips.size(); ++i) {
+    if (bfa_res.flips[i].fallback) break;  // vwa ends where BFA falls back
+    ASSERT_LT(i, vwa_res.flips.size());
+    EXPECT_TRUE(vwa_res.flips[i].loc == bfa_res.flips[i].loc) << "flip " << i;
+    EXPECT_EQ(vwa_res.flips[i].loss_after, bfa_res.flips[i].loss_after) << "flip " << i;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST_F(BfaFixture, VwaRespectsSkipSet) {
+  VwaLimitedConfig cfg;
+  cfg.flip_budget = 1;
+  VwaLimitedAttack probe(qm_, ax_, ay_, cfg);
+  const auto first = probe.step({});
+  ASSERT_TRUE(first.has_value());
+  qm_.flip(first->loc);  // undo
+  quant::BitSkipSet skip;
+  skip.insert(first->loc);
+  VwaLimitedAttack constrained(qm_, ax_, ay_, cfg);
+  const auto second = constrained.step(skip);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->loc == first->loc);
 }
 
 // ------------------------------------------------------------- DeepHammer --

@@ -14,7 +14,9 @@
 #include "harness/registry.hpp"
 #include "harness/sink.hpp"
 #include "nn/gemm.hpp"
+#include "nn/simd.hpp"
 #include "sys/json.hpp"
+#include "test_util.hpp"
 
 namespace dnnd::harness {
 namespace {
@@ -31,6 +33,17 @@ GridSpec mini_axes_spec() {
   spec.dataset = DatasetKind::kTinyEasy;
   spec.small = true;
   return spec;
+}
+
+/// The committed tiny-grid golden, raw bytes (newline-terminated sink form).
+std::string read_golden_text() {
+  const std::string path =
+      std::string(DNND_SOURCE_DIR) + "/tests/data/tiny_grid_baseline.json";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing baseline " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
 TEST(Scenario, SeedDerivesFromIdNotThreadOrder) {
@@ -102,6 +115,36 @@ TEST(Registry, AxisSlugsRoundTrip) {
   }
   EXPECT_TRUE(is_known_prep_axis("reconstruction-guard"));
   EXPECT_FALSE(is_known_prep_axis("prayer"));
+}
+
+TEST(Registry, AttackKindVocabularyStaysInSync) {
+  // Walk the enum by ordinal, not the array: an enumerator missing from
+  // kAllAttackKinds still reaches to_string here, and its slug then fails
+  // attack_kind_from_string (which resolves through the array) -- so this
+  // catches array/switch drift that iterating the array alone cannot. The
+  // static_assert next to the array pins the count itself.
+  for (usize i = 0; i < kAttackKindCount; ++i) {
+    const auto kind = static_cast<AttackKind>(i);
+    ASSERT_NE(to_string(kind), "unknown") << "ordinal " << i;
+    EXPECT_EQ(attack_kind_from_string(to_string(kind)), kind)
+        << "slug " << to_string(kind) << " does not round-trip";
+  }
+  // Slugs are unique (two kinds sharing one would make from_string ambiguous).
+  std::set<std::string> slugs;
+  for (const auto kind : kAllAttackKinds) slugs.insert(to_string(kind));
+  EXPECT_EQ(slugs.size(), kAttackKindCount);
+
+  // The default DNND_GRID_ATTACKS axis is the full vocabulary, in array
+  // order: a kind left out of the default axis silently vanishes from every
+  // sweep that doesn't override it.
+  const char* saved = std::getenv("DNND_GRID_ATTACKS");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  ASSERT_EQ(unsetenv("DNND_GRID_ATTACKS"), 0);
+  const GridSpec spec = grid_spec_from_env(/*small=*/true);
+  const std::vector<AttackKind> expected(std::begin(kAllAttackKinds),
+                                         std::end(kAllAttackKinds));
+  EXPECT_EQ(spec.attacks, expected);
+  if (saved != nullptr) ASSERT_EQ(setenv("DNND_GRID_ATTACKS", saved_copy.c_str(), 1), 0);
 }
 
 TEST(Registry, UnknownAttackSlugErrorListsValidVocabulary) {
@@ -336,6 +379,33 @@ TEST(Campaign, GoldenBaselineStableUnderGemmThreads) {
   for (const auto& r : res.results) ASSERT_TRUE(r.ok) << r.id << ": " << r.error;
   const auto report = diff_campaigns(baseline, campaign_from_json(res.to_json()));
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// Engine-equivalence gates for the ProbeEngine refactor: every pre-existing
+// attack kind's campaign JSON must stay byte-identical to the committed
+// golden across the thread counts CI runs (DNND_THREADS={1,4}) and under the
+// forced-scalar SIMD leg (DNND_SIMD=0). The golden's bytes predate the
+// engine for those cells, so a match proves the drivers reproduce the
+// per-family loops exactly.
+TEST(Campaign, GoldenBaselineStableAcrossThreadCounts) {
+  const std::string golden = read_golden_text();
+  for (const usize threads : {usize{1}, usize{4}}) {
+    CampaignRunner runner(CampaignConfig{.threads = threads});
+    const auto res = runner.run(tiny_test_grid());
+    for (const auto& r : res.results) ASSERT_TRUE(r.ok) << r.id << ": " << r.error;
+    EXPECT_EQ(res.to_json() + "\n", golden) << "threads=" << threads;
+  }
+}
+
+TEST(Campaign, GoldenBaselineStableUnderForcedScalarSimd) {
+  const std::string golden = read_golden_text();
+  const testutil::SimdGuard guard;
+  nn::simd::set_scalar_override(1);
+  ASSERT_EQ(nn::simd::active_isa(), nn::simd::Isa::kScalar);
+  CampaignRunner runner(CampaignConfig{.threads = 2});
+  const auto res = runner.run(tiny_test_grid());
+  for (const auto& r : res.results) ASSERT_TRUE(r.ok) << r.id << ": " << r.error;
+  EXPECT_EQ(res.to_json() + "\n", golden);
 }
 
 TEST(Campaign, RepeatedRunsOnWarmCacheAreIdentical) {
